@@ -1,0 +1,35 @@
+"""Shared result reporting for the benchmark harness.
+
+Each benchmark registers the table(s) it reproduces; the conftest's
+``pytest_terminal_summary`` hook prints every registered table after the
+pytest-benchmark timing summary, so ``pytest benchmarks/
+--benchmark-only`` emits the paper-figure data without needing ``-s``.
+Tables are also written to ``benchmarks/results/`` for later inspection.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Tuple
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: (title, rendered_table) pairs registered during the run.
+_REPORTS: List[Tuple[str, str]] = []
+
+
+def register_report(title: str, table_text: str, *, filename: str) -> None:
+    """Record a reproduced table for the end-of-run summary."""
+    _REPORTS.append((title, table_text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"{title}\n\n{table_text}\n")
+
+
+def drain_reports() -> List[Tuple[str, str]]:
+    """Return and clear all registered reports."""
+    reports = list(_REPORTS)
+    _REPORTS.clear()
+    return reports

@@ -1,0 +1,46 @@
+"""Figure 4d: scalability of Greedy with the number of items.
+
+The paper times Greedy on PE subsets of n in {10K, 100K, 500K, 1M} with
+k = 5K.  The default sweep uses container-friendly sizes with the
+paper's k/n ratio (k = n/200); pass ``--bench-full`` to run the paper's
+exact sizes.  Row computation lives in ``repro.experiments``.
+"""
+
+import pytest
+
+from _reporting import register_report
+from repro.core.greedy import greedy_solve
+from repro.evaluation.metrics import format_table
+from repro.experiments import fig4d_rows
+from repro.workloads.graphs import random_preference_graph
+
+DEFAULT_SIZES = (10_000, 50_000, 100_000, 250_000)
+FULL_SIZES = (10_000, 100_000, 500_000, 1_000_000)
+
+
+def test_fig4d_scalability(benchmark, bench_full):
+    sizes = FULL_SIZES if bench_full else DEFAULT_SIZES
+    small = random_preference_graph(sizes[0], seed=50)
+    benchmark.pedantic(
+        lambda: greedy_solve(small, sizes[0] // 200, "independent"),
+        rounds=3, iterations=1,
+    )
+
+    rows = fig4d_rows(sizes=sizes)
+    text = format_table(
+        rows,
+        title=(
+            "Figure 4d: scalability of Greedy (k = n/200"
+            + (", paper sizes" if bench_full else
+               ", container sizes; --bench-full for 1M")
+            + ")"
+        ),
+    )
+    register_report("Figure 4d", text, filename="fig4d_scalability.txt")
+
+    # Near-linear growth: 25x more items should cost far less than the
+    # quadratic 625x.
+    first, last = rows[0], rows[-1]
+    size_factor = last["n"] / first["n"]
+    time_factor = last["accelerated_s"] / max(first["accelerated_s"], 1e-9)
+    assert time_factor < size_factor ** 1.7

@@ -1,0 +1,61 @@
+"""Table 1: greedy vs best-known approximation ratios for VC_k / NPC_k.
+
+Regenerates the paper's Table 1 from the formulas in
+``repro.reductions.bounds`` and augments it with what the paper only
+claims in prose: the greedy's *measured* ratio against the brute-force
+optimum across the k/n spectrum, which lands far above the worst-case
+bound.  Row computation lives in ``repro.experiments``.
+"""
+
+import pytest
+
+from _reporting import register_report
+from repro.core.greedy import greedy_solve
+from repro.evaluation.metrics import format_table
+from repro.experiments import table1_measured_rows
+from repro.reductions.bounds import greedy_ratio_bound, table1_rows
+from repro.workloads.graphs import small_dense_graph
+
+N_SMALL = 12
+SEEDS = (0, 1, 2)
+
+
+def test_table1_bounds_and_empirical_ratios(benchmark):
+    """Reproduce Table 1 and measure actual greedy quality per k/n."""
+    graph = small_dense_graph(N_SMALL, variant="normalized", seed=0)
+    benchmark.pedantic(
+        lambda: greedy_solve(graph, N_SMALL // 2, "normalized"),
+        rounds=10, iterations=1,
+    )
+
+    rows = table1_measured_rows(n=N_SMALL, seeds=SEEDS)
+    for row in rows:
+        # The measured ratio must respect the worst-case bound.
+        assert row["greedy_measured"] >= row["greedy_bound"] - 1e-9
+
+    static = [
+        {
+            "k/n range": row.k_over_n,
+            "greedy bound": row.greedy_bound,
+            "best known": row.best_known,
+            "method": row.method,
+        }
+        for row in table1_rows()
+    ]
+    text = (
+        format_table(static, title="Table 1 (paper): approximation ratios "
+                                   "for VC_k by k/n range")
+        + "\n\n"
+        + format_table(
+            rows,
+            title=(
+                f"Table 1 (measured): greedy vs brute-force optimum, "
+                f"n={N_SMALL}, worst over {len(SEEDS)} NPC instances"
+            ),
+        )
+    )
+    register_report("Table 1", text, filename="table1_ratios.txt")
+
+    # The paper's observation: in practice greedy is near-optimal
+    # everywhere, not just at its worst-case bound.
+    assert all(row["greedy_measured"] >= 0.90 for row in rows)

@@ -1,0 +1,50 @@
+"""Benchmark-harness configuration.
+
+Prints every table registered through ``_reporting.register_report`` in
+the terminal summary, so the reproduced paper figures appear in the
+output of ``pytest benchmarks/ --benchmark-only``.
+
+``--bench-full`` escalates the scalability experiments to the paper's
+full sizes (n up to 1M); without it they run at container-friendly
+scale.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _reporting import drain_reports  # noqa: E402
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-full",
+        action="store_true",
+        default=False,
+        help="run scalability benchmarks at the paper's full sizes",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_full(request) -> bool:
+    """Whether the full-scale benchmark sizes were requested."""
+    return request.config.getoption("--bench-full")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    reports = drain_reports()
+    if not reports:
+        return
+    terminalreporter.write_sep("=", "reproduced paper tables and figures")
+    for title, table_text in reports:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(table_text)
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        "(tables also written to benchmarks/results/)"
+    )

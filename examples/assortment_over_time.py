@@ -1,0 +1,73 @@
+"""Maintaining a reduced assortment as the market drifts.
+
+Combines three pieces the paper's conclusion points toward: a consumer
+population whose popularity and preferences drift week over week
+(``DriftingMarket``), streaming graph maintenance with decayed counts
+(``OnlineAdaptationEngine``), and incremental re-solving that reuses the
+stable prefix of the previous greedy solution (``IncrementalSolver``).
+Each week the retained assortment is audited for lost demand and
+load-bearing items.
+
+Run:  python examples/assortment_over_time.py
+"""
+
+from repro.adaptation import OnlineAdaptationEngine
+from repro.adaptation.engine import AdaptationConfig
+from repro.clickstream import DriftConfig, DriftingMarket, ShopperConfig
+from repro.core.variants import Variant
+from repro.evaluation.audit import audit_retained_set
+from repro.extensions.incremental import IncrementalSolver
+
+WEEKS = 6
+SESSIONS_PER_WEEK = 15_000
+ASSORTMENT_SIZE = 30
+
+
+def main() -> None:
+    market = DriftingMarket(
+        ShopperConfig(n_items=200, behavior="independent"),
+        DriftConfig(popularity_sigma=0.12, acceptance_churn=0.03),
+        seed=2024,
+    )
+    engine = OnlineAdaptationEngine(
+        AdaptationConfig(variant=Variant.INDEPENDENT),
+        decay=0.6,  # older weeks fade out of the statistics
+    )
+    solver = None
+
+    print(f"{'week':>4}  {'cover':>7}  {'reused':>6}  "
+          f"{'lost demand':>11}  load-bearing item")
+    for week, clickstream, _truth in market.run(WEEKS, SESSIONS_PER_WEEK):
+        engine.new_period()
+        engine.observe_all(clickstream)
+        graph = engine.snapshot()
+
+        if solver is None:
+            solver = IncrementalSolver(
+                graph, k=ASSORTMENT_SIZE, variant="independent"
+            )
+            result = solver.solve()
+        else:
+            solver.graph = graph
+            result = solver.resolve()
+
+        audit = audit_retained_set(
+            graph, result.retained, "independent", top=1
+        )
+        top_load = audit.load_bearing[0]
+        print(
+            f"{week:>4}  {result.cover:>7.4f}  "
+            f"{solver.last_reused_prefix:>3}/{ASSORTMENT_SIZE:<2}  "
+            f"{audit.total_lost:>11.4f}  "
+            f"{top_load.item} (absorbs {top_load.absorbed_demand:.4f})"
+        )
+
+    print(
+        "\nthe incremental solver replays the previous week's selection "
+        "and only re-optimizes from the first choice the drift actually "
+        "changed."
+    )
+
+
+if __name__ == "__main__":
+    main()

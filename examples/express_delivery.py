@@ -1,0 +1,74 @@
+"""Scenario 1 (paper intro): stocking an express-delivery warehouse.
+
+A same-day-delivery branch can hold only a small fraction of the full
+catalog.  This example simulates an Electronics-domain clickstream
+(the PE dataset stand-in), builds the preference graph, selects the
+warehouse inventory with the greedy solver, and then *replays real
+shopper behavior* against the reduced stock to measure how many sales
+each policy actually fulfills.
+
+Run:  python examples/express_delivery.py
+"""
+
+from repro import greedy_solve, random_solve, top_k_weight_solve
+from repro.adaptation import build_preference_graph
+from repro.evaluation.metrics import format_table
+from repro.evaluation.replay import simulate_fulfillment
+from repro.workloads.datasets import build_dataset
+
+WAREHOUSE_CAPACITY_FRACTION = 0.10  # stock 10% of the catalog
+
+
+def main() -> None:
+    print("simulating Electronics clickstream (PE stand-in)...")
+    clickstream, population = build_dataset("PE", scale=0.001, seed=42)
+    stats = clickstream.stats()
+    print(f"  {stats['sessions']:,} sessions over {stats['items']:,} items")
+
+    graph = build_preference_graph(clickstream, "independent")
+    capacity = max(1, int(graph.n_items * WAREHOUSE_CAPACITY_FRACTION))
+    print(
+        f"  preference graph: {graph.n_items:,} items, "
+        f"{graph.n_edges:,} edges; warehouse capacity = {capacity} items"
+    )
+
+    policies = {
+        "greedy (paper)": greedy_solve(graph, capacity, "independent"),
+        "top sellers": top_k_weight_solve(graph, capacity, "independent"),
+        "random (best of 10)": random_solve(
+            graph, capacity, "independent", seed=7, draws=10
+        ),
+    }
+
+    rows = []
+    for name, result in policies.items():
+        # Replay ground-truth shoppers against the stocked warehouse:
+        # a sale happens if the desired item is stocked, or if the
+        # shopper accepts a stocked alternative.
+        sales = simulate_fulfillment(
+            population, result.retained, n_sessions=100_000, seed=1
+        )
+        rows.append(
+            {
+                "policy": name,
+                "predicted_cover": result.cover,
+                "realized_sales_rate": sales.match_rate,
+                "solve_time_s": result.wall_time_s,
+            }
+        )
+
+    print()
+    print(format_table(rows, title="Express-delivery stocking policies"))
+    best = max(rows, key=lambda r: r["realized_sales_rate"])
+    naive = next(r for r in rows if r["policy"] == "top sellers")
+    gain = (
+        best["realized_sales_rate"] / naive["realized_sales_rate"] - 1
+    ) * 100
+    print(
+        f"\npreference-aware selection fulfills {gain:+.1f}% more sessions "
+        f"than stocking the top sellers."
+    )
+
+
+if __name__ == "__main__":
+    main()

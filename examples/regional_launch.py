@@ -1,0 +1,79 @@
+"""Scenario 2 (paper intro): opening a branch overseas.
+
+Regulations cap how many products may be shipped abroad, but the real
+business requirement is usually phrased the other way around: *"cover at
+least X% of local demand with as few listed items as possible"* — the
+paper's complementary minimization problem.  This example runs the
+direct greedy threshold solver against the binary-search-adapted
+baselines on a Motors-domain clickstream (the PM stand-in, which fits
+the Normalized variant), reproducing the Figure 4f comparison shape.
+
+Run:  python examples/regional_launch.py
+"""
+
+from repro import InventoryReducer, greedy_threshold_solve
+from repro.adaptation import build_preference_graph, recommend_variant
+from repro.core.baselines import (
+    top_k_coverage_threshold,
+    top_k_weight_threshold,
+)
+from repro.evaluation.metrics import format_table
+from repro.workloads.datasets import build_dataset
+
+DEMAND_TARGETS = (0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def main() -> None:
+    print("simulating Motors clickstream (PM stand-in)...")
+    clickstream, _population = build_dataset("PM", scale=0.001, seed=7)
+
+    # Let the system pick the variant from the data (the paper's PM
+    # dataset passes the Normalized fitness test).
+    recommendation = recommend_variant(clickstream)
+    print(
+        f"  variant selected from data: {recommendation.variant.value} "
+        f"(normalized_fit={recommendation.normalized_fit:.3f})"
+    )
+    graph = build_preference_graph(clickstream, recommendation.variant)
+    print(f"  catalog: {graph.n_items:,} items")
+
+    rows = []
+    for target in DEMAND_TARGETS:
+        greedy = greedy_threshold_solve(graph, target, recommendation.variant)
+        by_weight = top_k_weight_threshold(
+            graph, target, recommendation.variant
+        )
+        by_coverage = top_k_coverage_threshold(
+            graph, target, recommendation.variant
+        )
+        rows.append(
+            {
+                "demand_target": target,
+                "greedy_items": greedy.k,
+                "topk_weight_items": by_weight.k,
+                "topk_coverage_items": by_coverage.k,
+            }
+        )
+
+    print()
+    print(
+        format_table(
+            rows,
+            title="Items needed to reach each demand-coverage target",
+            float_format="{:.2f}",
+        )
+    )
+
+    # The same flow through the end-to-end reducer.
+    report = InventoryReducer(threshold=0.8).run(clickstream)
+    print(
+        f"\nInventoryReducer: ship {len(report.retained)} items to cover "
+        f"{report.cover:.1%} of demand"
+    )
+    print("first items to list abroad:", ", ".join(
+        str(item) for item in report.retained[:5]
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Standalone driver regenerating the paper's figure data.
+
+The pytest benchmarks in ``benchmarks/`` are the canonical reproduction
+(with assertions); this script renders the same series — computed by
+``repro.experiments`` — for quick interactive use, including terminal
+plots for the log-scale and curve figures.
+
+Run:  python examples/reproduce_figures.py [--fast]
+"""
+
+import argparse
+import sys
+
+from repro.evaluation.ascii_plot import bar_chart, figure_4c_plot
+from repro.evaluation.metrics import format_table
+from repro.experiments import (
+    fig4a_rows,
+    fig4b_rows,
+    fig4c_rows,
+    fig4d_rows,
+    fig4e_rows,
+    fig4f_rows,
+    table2_rows,
+)
+
+
+def table_2(fast: bool) -> None:
+    rows = table2_rows(scale=0.0005 if fast else 0.001, seed=0)
+    display = [
+        {
+            "DS": row["dataset"],
+            "variant": row["variant"],
+            "items": row["generated_items"],
+            "edges": row["generated_edges"],
+            "sessions": row["generated_sessions"],
+        }
+        for row in rows
+    ]
+    print(format_table(display, title="Table 2 — dataset stand-ins"))
+
+
+def figure_4a(fast: bool) -> None:
+    rows = fig4a_rows(
+        n_items=14 if fast else 16,
+        k_values=(2, 4, 6) if fast else (2, 4, 6, 8, 10),
+    )
+    print(format_table(rows, title="Figure 4a — Greedy vs BF coverage"))
+
+
+def figure_4b(fast: bool) -> None:
+    rows = fig4b_rows(sizes=(10, 12, 14) if fast else (10, 12, 14, 16))
+    print(format_table(
+        rows, title="Figure 4b — Greedy vs BF runtime",
+        float_format="{:.5f}",
+    ))
+    print(bar_chart(
+        [f"n={row['n']}" for row in rows],
+        [row["bf_s"] for row in rows],
+        log_scale=True,
+        title="BF runtime, seconds (log scale)",
+    ))
+
+
+def figure_4c(fast: bool) -> None:
+    rows = fig4c_rows(
+        scale=0.01 if fast else 0.05,
+        fractions=(0.1, 0.5, 0.9) if fast else (0.1, 0.3, 0.5, 0.7, 0.9),
+    )
+    print(format_table(rows, title="Figure 4c — coverage quality"))
+    print()
+    print(figure_4c_plot(rows))
+
+
+def figure_4d(fast: bool) -> None:
+    rows = fig4d_rows(
+        sizes=(10_000, 50_000) if fast
+        else (10_000, 50_000, 100_000, 250_000),
+    )
+    print(format_table(rows, title="Figure 4d — scalability"))
+
+
+def figure_4e(fast: bool) -> None:
+    rows = fig4e_rows(
+        n_items=50_000 if fast else 200_000,
+        k=50 if fast else 100,
+    )
+    display = [
+        {"cores": row["workers"], "modeled_speedup": row["speedup"]}
+        for row in rows
+    ]
+    print(format_table(
+        display, title="Figure 4e — parallel speedup (work-span model)"
+    ))
+
+
+def figure_4f(fast: bool) -> None:
+    rows = fig4f_rows(
+        scale=0.01 if fast else 0.05,
+        thresholds=(0.5, 0.7, 0.9) if fast else (0.5, 0.6, 0.7, 0.8, 0.9),
+    )
+    print(format_table(rows, title="Figure 4f — complementary problem"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="smaller instances, quicker run")
+    args = parser.parse_args(argv)
+    for build in (table_2, figure_4a, figure_4b, figure_4c,
+                  figure_4d, figure_4e, figure_4f):
+        build(args.fast)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

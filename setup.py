@@ -1,0 +1,9 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+Kept so `pip install -e .` works on environments without the `wheel`
+package (legacy editable-install path).
+"""
+
+from setuptools import setup
+
+setup()

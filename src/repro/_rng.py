@@ -1,0 +1,38 @@
+"""Shared random-number-generator plumbing.
+
+Every stochastic component in this library (clickstream generators, the
+Random baseline, Monte-Carlo replay) accepts a ``seed`` argument of type
+:data:`SeedLike` and resolves it through :func:`resolve_rng`, so results
+are reproducible end to end from a single integer.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+#: Anything accepted as a seed: ``None`` (fresh entropy), an ``int``, or an
+#: already-constructed :class:`numpy.random.Generator` (used as-is).
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Passing a ``Generator`` returns it unchanged, which lets callers thread
+    one generator through a whole pipeline; an ``int`` gives a fresh,
+    deterministic generator; ``None`` gives a nondeterministic one.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Used when a component needs to hand out generators to sub-components
+    without correlating their streams.
+    """
+    return np.random.default_rng(rng.integers(0, 2**63 - 1))

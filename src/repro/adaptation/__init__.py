@@ -1,0 +1,25 @@
+"""Data Adaptation Engine: clickstream -> preference graph + variant choice."""
+
+from .engine import AdaptationConfig, DataAdaptationEngine, build_preference_graph
+from .online import OnlineAdaptationEngine
+from .variant_selection import (
+    INDEPENDENT_FIT_THRESHOLD,
+    NORMALIZED_FIT_THRESHOLD,
+    VariantRecommendation,
+    independence_score,
+    normalized_fit,
+    recommend_variant,
+)
+
+__all__ = [
+    "AdaptationConfig",
+    "DataAdaptationEngine",
+    "INDEPENDENT_FIT_THRESHOLD",
+    "NORMALIZED_FIT_THRESHOLD",
+    "OnlineAdaptationEngine",
+    "VariantRecommendation",
+    "build_preference_graph",
+    "independence_score",
+    "normalized_fit",
+    "recommend_variant",
+]

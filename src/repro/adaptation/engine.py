@@ -1,0 +1,161 @@
+"""The Data Adaptation Engine (paper Section 5.2, Figure 2 left block).
+
+Builds a preference graph from a clickstream of clicks and purchases per
+session, following the paper's construction exactly:
+
+* **nodes** are items; the node weight is the item's share of all
+  purchases (the purchased item in a fully-stocked store is the desired
+  item, so purchase share estimates request probability);
+* an **edge** ``A -> B`` exists iff some session purchased ``A`` and
+  clicked ``B``; its weight is the fraction of ``A``-purchasing sessions
+  in which ``B`` was clicked — clicks proxy willingness to buy as an
+  alternative;
+* clicks on the purchased item itself are ignored, as are browse-only
+  sessions (no purchase means no revealed desired item);
+* under the **Normalized** variant, a session that clicked ``t > 1``
+  distinct alternatives contributes ``1/t`` of a click to each (the
+  paper's normalization), which guarantees each node's outgoing weights
+  sum to at most one.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from ..core.graph import PreferenceGraph
+from ..core.variants import Variant
+from ..errors import AdaptationError
+from ..clickstream.models import Clickstream
+
+
+@dataclass(frozen=True)
+class AdaptationConfig:
+    """Settings of the Data Adaptation Engine.
+
+    Attributes:
+        variant: which variant's weighting rule to apply (Normalized
+            triggers the ``1/t`` click splitting).
+        include_unpurchased: also add never-purchased items as
+            zero-weight nodes (they can still serve as alternatives and
+            be retained).  Default False: the paper's graphs contain the
+            purchasable catalog.
+        min_edge_sessions: discard edges supported by fewer purchasing
+            sessions than this (noise control for rarely bought items;
+            the paper notes such noisy edges have negligible influence
+            but pruning keeps graphs small).
+        min_edge_weight: discard edges lighter than this after weighting.
+        correction_factor: multiply every edge weight by this factor in
+            (0, 1].  Section 5.2 notes clicks *overestimate* the actual
+            willingness to buy an alternative and suggests "normalizing
+            the edge weights by a corrective factor" learned from richer
+            signals (e.g. dwell time); this is that hook.
+        laplace_alpha: add-alpha shrinkage of edge weights — the weight
+            becomes ``mass / (purchases + alpha)``, pulling estimates
+            from rarely purchased items (few observations, high
+            variance) toward zero while leaving well-observed items
+            nearly untouched.
+    """
+
+    variant: Variant = Variant.INDEPENDENT
+    include_unpurchased: bool = False
+    min_edge_sessions: int = 1
+    min_edge_weight: float = 0.0
+    correction_factor: float = 1.0
+    laplace_alpha: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.correction_factor <= 1.0):
+            raise AdaptationError(
+                f"correction_factor must be in (0, 1], got "
+                f"{self.correction_factor}"
+            )
+        if self.laplace_alpha < 0.0:
+            raise AdaptationError(
+                f"laplace_alpha must be >= 0, got {self.laplace_alpha}"
+            )
+
+
+class DataAdaptationEngine:
+    """Clickstream -> preference graph, per the paper's recipe."""
+
+    def __init__(self, config: Optional[AdaptationConfig] = None) -> None:
+        self.config = config or AdaptationConfig()
+
+    def build_graph(self, clickstream: Clickstream) -> PreferenceGraph:
+        """Construct the preference graph for ``clickstream``.
+
+        Raises :class:`AdaptationError` when the stream contains no
+        purchases (node weights would be undefined).
+        """
+        config = self.config
+        purchase_counts: Counter = Counter()
+        # click_mass[(A, B)]: (weighted) number of A-purchasing sessions
+        # that clicked B;  session_support[(A, B)]: raw session count.
+        click_mass: Dict[Tuple[Hashable, Hashable], float] = defaultdict(float)
+        session_support: Counter = Counter()
+        click_only_items = set()
+
+        for session in clickstream:
+            if session.purchase is None:
+                continue
+            desired = session.purchase
+            purchase_counts[desired] += 1
+            alternatives = session.alternatives()
+            if not alternatives:
+                continue
+            if config.variant is Variant.NORMALIZED:
+                weight = 1.0 / len(alternatives)
+            else:
+                weight = 1.0
+            for clicked in alternatives:
+                click_mass[(desired, clicked)] += weight
+                session_support[(desired, clicked)] += 1
+                click_only_items.add(clicked)
+
+        total_purchases = sum(purchase_counts.values())
+        if total_purchases == 0:
+            raise AdaptationError(
+                "clickstream contains no purchasing sessions; cannot "
+                "estimate item popularity"
+            )
+
+        graph = PreferenceGraph()
+        for item, count in purchase_counts.items():
+            graph.add_item(item, count / total_purchases)
+        if config.include_unpurchased:
+            for item in click_only_items:
+                if item not in graph:
+                    graph.add_item(item, 0.0)
+
+        for (desired, clicked), mass in click_mass.items():
+            if clicked not in graph or desired not in graph:
+                continue  # endpoint excluded (never purchased)
+            if session_support[(desired, clicked)] < config.min_edge_sessions:
+                continue
+            weight = config.correction_factor * mass / (
+                purchase_counts[desired] + config.laplace_alpha
+            )
+            if weight <= config.min_edge_weight:
+                continue
+            graph.add_edge(desired, clicked, min(weight, 1.0))
+        return graph
+
+
+def build_preference_graph(
+    clickstream: Clickstream,
+    variant: "Variant | str" = Variant.INDEPENDENT,
+    *,
+    include_unpurchased: bool = False,
+    min_edge_sessions: int = 1,
+    min_edge_weight: float = 0.0,
+) -> PreferenceGraph:
+    """One-call convenience wrapper around :class:`DataAdaptationEngine`."""
+    config = AdaptationConfig(
+        variant=Variant.coerce(variant),
+        include_unpurchased=include_unpurchased,
+        min_edge_sessions=min_edge_sessions,
+        min_edge_weight=min_edge_weight,
+    )
+    return DataAdaptationEngine(config).build_graph(clickstream)

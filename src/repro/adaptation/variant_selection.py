@@ -1,0 +1,214 @@
+"""Choosing the problem variant from the data (paper Section 5.2).
+
+The paper gives two empirical fitness tests:
+
+* **Normalized fit** — the variant's premise is "at most one alternative
+  per request".  The test: the fraction of purchasing sessions that
+  clicked at most one distinct alternative must be at least 90%.
+* **Independent fit** — the premise is independence between
+  alternatives.  The test: for every desired item, compute the
+  *normalized mutual information* (Strehl & Ghosh) between the
+  click-indicators of every pair of its alternatives, average per item,
+  then take the node-weight-weighted average over items; below 0.1 the
+  Independent variant is a fitting model.
+
+:func:`recommend_variant` runs both tests and applies the paper's
+thresholds; ties (both fit) prefer Normalized, whose semantics are the
+stronger claim, and when neither fits the Independent variant is
+returned as the fallback with ``fits=False``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, Hashable, List, Optional
+
+from ..core.variants import Variant
+from ..errors import AdaptationError
+from ..clickstream.models import Clickstream
+
+#: Paper thresholds (Section 5.2).
+NORMALIZED_FIT_THRESHOLD = 0.9
+INDEPENDENT_FIT_THRESHOLD = 0.1
+
+
+@dataclass(frozen=True)
+class VariantRecommendation:
+    """Outcome of the variant-selection analysis.
+
+    Attributes:
+        variant: the recommended variant.
+        fits: whether the recommended variant actually passed its
+            fitness test (False means neither test passed and the
+            Independent variant is returned as the fallback).
+        normalized_fit: fraction of purchasing sessions with at most one
+            distinct clicked alternative.
+        independence_score: weighted average pairwise NMI (lower means
+            more independent); ``None`` when no item had two or more
+            co-observable alternatives.
+    """
+
+    variant: Variant
+    fits: bool
+    normalized_fit: float
+    independence_score: Optional[float]
+
+
+def normalized_fit(clickstream: Clickstream) -> float:
+    """Fraction of purchasing sessions with <= 1 distinct alternative."""
+    total = 0
+    at_most_one = 0
+    for session in clickstream:
+        if session.purchase is None:
+            continue
+        total += 1
+        if len(session.alternatives()) <= 1:
+            at_most_one += 1
+    if total == 0:
+        raise AdaptationError("clickstream contains no purchasing sessions")
+    return at_most_one / total
+
+
+def _binary_entropy(p: float) -> float:
+    """Entropy (nats) of a Bernoulli(p) variable."""
+    if p <= 0.0 or p >= 1.0:
+        return 0.0
+    return -(p * math.log(p) + (1.0 - p) * math.log(1.0 - p))
+
+
+def _pair_nmi(n11: int, n10: int, n01: int, n00: int) -> float:
+    """Normalized mutual information of two binary click indicators.
+
+    ``n11`` counts sessions where both alternatives were clicked, etc.
+    Uses the geometric-mean normalization of Strehl & Ghosh; returns 0
+    when either marginal is degenerate (constant variables carry no
+    dependence information).
+    """
+    total = n11 + n10 + n01 + n00
+    if total == 0:
+        return 0.0
+    px = (n11 + n10) / total
+    py = (n11 + n01) / total
+    hx = _binary_entropy(px)
+    hy = _binary_entropy(py)
+    if hx == 0.0 or hy == 0.0:
+        return 0.0
+    mutual = 0.0
+    cells = (
+        (n11 / total, px * py),
+        (n10 / total, px * (1 - py)),
+        (n01 / total, (1 - px) * py),
+        (n00 / total, (1 - px) * (1 - py)),
+    )
+    for joint, product in cells:
+        if joint > 0.0 and product > 0.0:
+            mutual += joint * math.log(joint / product)
+    return max(0.0, mutual) / math.sqrt(hx * hy)
+
+
+def independence_score(
+    clickstream: Clickstream,
+    *,
+    min_purchases: int = 5,
+    max_pairs_per_item: int = 50,
+) -> Optional[float]:
+    """Weighted average pairwise NMI between alternatives (paper's measure).
+
+    For each desired item with at least ``min_purchases`` purchasing
+    sessions and at least two distinct clicked alternatives, compute the
+    average NMI over alternative pairs (capped at ``max_pairs_per_item``
+    for very wide items), then average over items weighted by purchase
+    counts (so rarely bought items do not skew the score).  Returns
+    ``None`` when no item qualifies.
+    """
+    per_item_sessions: Dict[Hashable, List[frozenset]] = defaultdict(list)
+    purchase_counts: Counter = Counter()
+    for session in clickstream:
+        if session.purchase is None:
+            continue
+        purchase_counts[session.purchase] += 1
+        per_item_sessions[session.purchase].append(
+            frozenset(session.alternatives())
+        )
+
+    weighted_sum = 0.0
+    weight_total = 0.0
+    for item, session_sets in per_item_sessions.items():
+        if purchase_counts[item] < min_purchases:
+            continue
+        alternatives = sorted(
+            {alt for clicked in session_sets for alt in clicked},
+            key=repr,
+        )
+        if len(alternatives) < 2:
+            continue
+        pair_values = []
+        for b, c in combinations(alternatives, 2):
+            n11 = n10 = n01 = n00 = 0
+            for clicked in session_sets:
+                b_in = b in clicked
+                c_in = c in clicked
+                if b_in and c_in:
+                    n11 += 1
+                elif b_in:
+                    n10 += 1
+                elif c_in:
+                    n01 += 1
+                else:
+                    n00 += 1
+            pair_values.append(_pair_nmi(n11, n10, n01, n00))
+            if len(pair_values) >= max_pairs_per_item:
+                break
+        if not pair_values:
+            continue
+        item_score = sum(pair_values) / len(pair_values)
+        weighted_sum += purchase_counts[item] * item_score
+        weight_total += purchase_counts[item]
+
+    if weight_total == 0.0:
+        return None
+    return weighted_sum / weight_total
+
+
+def recommend_variant(
+    clickstream: Clickstream,
+    *,
+    normalized_threshold: float = NORMALIZED_FIT_THRESHOLD,
+    independence_threshold: float = INDEPENDENT_FIT_THRESHOLD,
+    min_purchases: int = 5,
+) -> VariantRecommendation:
+    """Apply both fitness tests and recommend a variant.
+
+    The Normalized test is checked first (its premise is the more
+    specific one); otherwise the Independence test; otherwise the
+    Independent variant is returned as the fallback with ``fits=False``,
+    matching the paper's position that other dependency schemes are
+    future work.
+    """
+    norm_fit = normalized_fit(clickstream)
+    indep_score = independence_score(
+        clickstream, min_purchases=min_purchases
+    )
+    if norm_fit >= normalized_threshold:
+        return VariantRecommendation(
+            variant=Variant.NORMALIZED,
+            fits=True,
+            normalized_fit=norm_fit,
+            independence_score=indep_score,
+        )
+    if indep_score is not None and indep_score < independence_threshold:
+        return VariantRecommendation(
+            variant=Variant.INDEPENDENT,
+            fits=True,
+            normalized_fit=norm_fit,
+            independence_score=indep_score,
+        )
+    return VariantRecommendation(
+        variant=Variant.INDEPENDENT,
+        fits=False,
+        normalized_fit=norm_fit,
+        independence_score=indep_score,
+    )

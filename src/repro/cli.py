@@ -1,0 +1,307 @@
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
+
+Commands mirror the system architecture:
+
+* ``generate``   — synthesize a clickstream from a dataset spec or a
+  custom consumer model, writing JSONL (optionally YooChoose CSV).
+* ``build-graph`` — run the Data Adaptation Engine on a clickstream file
+  and write the preference graph as JSON.
+* ``solve``       — run the Preference Cover Solver on a graph file
+  (fixed ``k`` or coverage ``--threshold``).
+* ``pipeline``    — the end-to-end Figure 2 flow from a clickstream file.
+* ``stats``       — dataset/graph statistics (Table 2-style).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .adaptation.engine import build_preference_graph
+from .adaptation.variant_selection import recommend_variant
+from .clickstream.io import read_jsonl, write_jsonl, write_yoochoose
+from .core.greedy import greedy_solve
+from .graphio import read_graph_json, write_graph_json
+from .core.threshold import greedy_threshold_solve
+from .core.variants import Variant
+from .errors import ReproError
+from .pipeline import InventoryReducer
+from .workloads.datasets import PAPER_DATASETS, build_dataset
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset:
+        clickstream, _model = build_dataset(
+            args.dataset, scale=args.scale, seed=args.seed
+        )
+    else:
+        from .clickstream.generator import ConsumerModel, ShopperConfig
+
+        model = ConsumerModel(
+            ShopperConfig(n_items=args.items, behavior=args.behavior),
+            seed=args.seed,
+        )
+        clickstream = model.generate(args.sessions, seed=args.seed + 1)
+    write_jsonl(clickstream, args.output)
+    if args.yoochoose_prefix:
+        write_yoochoose(
+            clickstream,
+            f"{args.yoochoose_prefix}-clicks.dat",
+            f"{args.yoochoose_prefix}-buys.dat",
+        )
+    stats = clickstream.stats()
+    print(
+        f"wrote {stats['sessions']} sessions "
+        f"({stats['purchases']} purchases, {stats['items']} items) "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_build_graph(args: argparse.Namespace) -> int:
+    clickstream = read_jsonl(args.clickstream)
+    if args.variant == "auto":
+        recommendation = recommend_variant(clickstream)
+        variant = recommendation.variant
+        print(f"variant selected from data: {variant.value}")
+    else:
+        variant = Variant.coerce(args.variant)
+    graph = build_preference_graph(
+        clickstream, variant,
+        min_edge_sessions=args.min_edge_sessions,
+    )
+    write_graph_json(graph, args.output)
+    print(
+        f"wrote graph with {graph.n_items} items / {graph.n_edges} edges "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    graph = read_graph_json(args.graph)
+    variant = Variant.coerce(args.variant)
+    graph.validate(variant)
+    if args.threshold is not None:
+        result = greedy_threshold_solve(graph, args.threshold, variant)
+    else:
+        if args.k is None:
+            print("error: provide -k or --threshold", file=sys.stderr)
+            return 2
+        result = greedy_solve(
+            graph, args.k, variant, strategy=args.strategy,
+            must_retain=args.must_retain or None,
+            exclude=args.exclude or None,
+        )
+    print(f"cover C(S) = {result.cover:.6f} with {len(result.retained)} items")
+    for rank, item in enumerate(result.retained[: args.show], start=1):
+        print(f"  {rank:4d}. {item}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle)
+        print(f"full result written to {args.output}")
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    clickstream = read_jsonl(args.clickstream)
+    reducer = InventoryReducer(
+        k=args.k,
+        threshold=args.threshold,
+        variant=args.variant,
+        min_edge_sessions=args.min_edge_sessions,
+    )
+    report = reducer.run(clickstream)
+    print(report.summary())
+    print()
+    print("top retained items:")
+    for rank, item in enumerate(report.retained[: args.show], start=1):
+        print(f"  {rank:4d}. {item}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.result.to_dict(), handle)
+        print(f"full result written to {args.output}")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .evaluation.audit import audit_retained_set
+    from .evaluation.metrics import format_table
+
+    graph = read_graph_json(args.graph)
+    variant = Variant.coerce(args.variant)
+    graph.validate(variant)
+    if args.result:
+        with open(args.result, "r", encoding="utf-8") as handle:
+            retained = json.load(handle)["retained"]
+    else:
+        retained = args.items
+    if not retained:
+        print("error: provide --result or --items", file=sys.stderr)
+        return 2
+    audit = audit_retained_set(graph, retained, variant, top=args.top)
+    print(audit.summary())
+    print()
+    print(format_table(
+        [
+            {
+                "item": str(row.item),
+                "requested": row.request_probability,
+                "covered": row.covered,
+                "lost": row.lost,
+            }
+            for row in audit.lost_demand
+        ],
+        title="largest demand losses",
+    ))
+    print()
+    print(format_table(
+        [
+            {
+                "item": str(row.item),
+                "own_demand": row.own_demand,
+                "absorbed": row.absorbed_demand,
+                "contribution": row.total_contribution,
+            }
+            for row in audit.load_bearing
+        ],
+        title="load-bearing retained items",
+    ))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.graph:
+        from .core.stats import graph_stats
+
+        graph = read_graph_json(args.graph)
+        print(json.dumps(graph_stats(graph).to_dict(), indent=2))
+    elif args.clickstream:
+        clickstream = read_jsonl(args.clickstream)
+        stats = clickstream.stats()
+        recommendation = recommend_variant(clickstream)
+        print(json.dumps(
+            {
+                **stats,
+                "recommended_variant": recommendation.variant.value,
+                "normalized_fit": recommendation.normalized_fit,
+                "independence_score": recommendation.independence_score,
+            },
+            indent=2,
+        ))
+    else:
+        print("known dataset specs (paper Table 2):")
+        for name, spec in PAPER_DATASETS.items():
+            print(
+                f"  {name}: sessions={spec.paper.sessions:,} "
+                f"purchases={spec.paper.purchases:,} "
+                f"items={spec.paper.items:,} edges={spec.paper.edges:,} "
+                f"variant={spec.variant().value}"
+            )
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Preference Cover inventory reduction (EDBT 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="synthesize a clickstream")
+    generate.add_argument("--dataset", choices=sorted(PAPER_DATASETS),
+                          help="paper dataset spec to emulate")
+    generate.add_argument("--scale", type=float, default=0.002,
+                          help="scale factor for dataset specs")
+    generate.add_argument("--items", type=int, default=1000)
+    generate.add_argument("--sessions", type=int, default=20000)
+    generate.add_argument("--behavior",
+                          choices=["independent", "normalized"],
+                          default="independent")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--yoochoose-prefix", default=None,
+                          help="also write YooChoose-format CSVs")
+    generate.add_argument("-o", "--output", required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    build = sub.add_parser("build-graph",
+                           help="clickstream -> preference graph")
+    build.add_argument("clickstream")
+    build.add_argument("--variant",
+                       choices=["independent", "normalized", "auto"],
+                       default="auto")
+    build.add_argument("--min-edge-sessions", type=int, default=1)
+    build.add_argument("-o", "--output", required=True)
+    build.set_defaults(func=_cmd_build_graph)
+
+    solve = sub.add_parser("solve", help="solve a preference graph")
+    solve.add_argument("graph")
+    solve.add_argument("--variant",
+                       choices=["independent", "normalized"],
+                       required=True)
+    solve.add_argument("-k", type=int, default=None)
+    solve.add_argument("--threshold", type=float, default=None)
+    solve.add_argument("--strategy", default="auto")
+    solve.add_argument("--must-retain", nargs="*", default=[],
+                       help="items that must stay in the assortment")
+    solve.add_argument("--exclude", nargs="*", default=[],
+                       help="items that may never be retained")
+    solve.add_argument("--show", type=int, default=10,
+                       help="how many retained items to print")
+    solve.add_argument("-o", "--output", default=None)
+    solve.set_defaults(func=_cmd_solve)
+
+    pipe = sub.add_parser("pipeline", help="end-to-end Figure 2 flow")
+    pipe.add_argument("clickstream")
+    pipe.add_argument("--variant",
+                      choices=["independent", "normalized", "auto"],
+                      default="auto")
+    pipe.add_argument("-k", type=int, default=None)
+    pipe.add_argument("--threshold", type=float, default=None)
+    pipe.add_argument("--min-edge-sessions", type=int, default=1)
+    pipe.add_argument("--show", type=int, default=10)
+    pipe.add_argument("-o", "--output", default=None)
+    pipe.set_defaults(func=_cmd_pipeline)
+
+    audit = sub.add_parser(
+        "audit", help="lost-demand / load-bearing audit of a retained set"
+    )
+    audit.add_argument("graph")
+    audit.add_argument("--variant",
+                       choices=["independent", "normalized"],
+                       required=True)
+    audit.add_argument("--result", default=None,
+                       help="result JSON from 'repro solve -o'")
+    audit.add_argument("--items", nargs="*", default=[],
+                       help="retained item ids (alternative to --result)")
+    audit.add_argument("--top", type=int, default=10)
+    audit.set_defaults(func=_cmd_audit)
+
+    stats = sub.add_parser("stats", help="dataset statistics")
+    stats.add_argument("--clickstream", default=None)
+    stats.add_argument("--graph", default=None,
+                       help="preference-graph JSON to summarize")
+    stats.set_defaults(func=_cmd_stats)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Clickstream substrate: session model, I/O and synthetic generators."""
+
+from .drift import DriftConfig, DriftingMarket
+from .generator import ConsumerModel, ShopperConfig
+from .io import read_jsonl, read_yoochoose, write_jsonl, write_yoochoose
+from .models import Clickstream, Session, sessions_from_dicts
+
+__all__ = [
+    "Clickstream",
+    "ConsumerModel",
+    "DriftConfig",
+    "DriftingMarket",
+    "Session",
+    "ShopperConfig",
+    "read_jsonl",
+    "read_yoochoose",
+    "sessions_from_dicts",
+    "write_jsonl",
+    "write_yoochoose",
+]

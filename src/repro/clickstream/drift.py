@@ -1,0 +1,143 @@
+"""Temporal drift: evolving consumer populations over periods.
+
+The paper's conclusion names "incremental maintenance in response to
+changes over time" as ongoing work.  To exercise that direction end to
+end, this module evolves a :class:`~repro.clickstream.generator.ConsumerModel`
+across discrete periods (think weeks):
+
+* item popularity follows a multiplicative log-normal random walk
+  (renormalized each period) — sales ranks churn gradually;
+* optionally, a small fraction of acceptance probabilities is
+  re-drawn — substitution preferences drift too.
+
+Each period yields a fresh clickstream and the corresponding
+ground-truth preference graph, which is exactly what
+:class:`repro.extensions.incremental.IncrementalSolver` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .._rng import SeedLike, resolve_rng, spawn_rng
+from ..core.graph import PreferenceGraph
+from ..errors import ClickstreamFormatError
+from .generator import ConsumerModel, ShopperConfig
+from .models import Clickstream
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """How fast the market moves per period.
+
+    Attributes:
+        popularity_sigma: standard deviation of the log-normal
+            multiplicative shock applied to each item's popularity per
+            period (0.1 = gentle churn, 0.5 = volatile market).
+        acceptance_churn: fraction of items whose alternative-acceptance
+            probabilities are re-drawn each period.
+    """
+
+    popularity_sigma: float = 0.15
+    acceptance_churn: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.popularity_sigma < 0:
+            raise ClickstreamFormatError("popularity_sigma must be >= 0")
+        if not (0.0 <= self.acceptance_churn <= 1.0):
+            raise ClickstreamFormatError(
+                "acceptance_churn must be in [0, 1]"
+            )
+
+
+class DriftingMarket:
+    """A consumer population whose preferences evolve period by period.
+
+    Usage::
+
+        market = DriftingMarket(ShopperConfig(n_items=500), seed=0)
+        for period in range(8):
+            stream = market.generate(20_000)
+            truth = market.true_graph()
+            ...                       # adapt / re-solve
+            market.advance()          # next period
+    """
+
+    def __init__(
+        self,
+        shopper_config: ShopperConfig,
+        drift: Optional[DriftConfig] = None,
+        *,
+        seed: SeedLike = None,
+    ) -> None:
+        self._rng = resolve_rng(seed)
+        self.drift = drift or DriftConfig()
+        self.model = ConsumerModel(shopper_config, seed=spawn_rng(self._rng))
+        self.period = 0
+
+    # ------------------------------------------------------------------
+    def generate(self, n_sessions: int) -> Clickstream:
+        """Clickstream of the current period."""
+        return self.model.generate(
+            n_sessions,
+            seed=spawn_rng(self._rng),
+            session_prefix=f"p{self.period}-s",
+        )
+
+    def true_graph(self) -> PreferenceGraph:
+        """Ground-truth preference graph of the current period."""
+        return self.model.true_graph()
+
+    def advance(self) -> None:
+        """Move to the next period, mutating the population in place."""
+        drift = self.drift
+        model = self.model
+        rng = self._rng
+
+        # Popularity random walk.
+        if drift.popularity_sigma > 0:
+            shocks = rng.lognormal(
+                mean=0.0, sigma=drift.popularity_sigma,
+                size=model.popularity.shape,
+            )
+            popularity = model.popularity * shocks
+            model.popularity = popularity / popularity.sum()
+
+        # Acceptance churn: re-draw a few items' acceptance vectors.
+        if drift.acceptance_churn > 0:
+            config = model.config
+            n = config.n_items
+            churned = rng.random(n) < drift.acceptance_churn
+            for item in np.flatnonzero(churned).tolist():
+                n_alt = model.alternatives[item].size
+                if n_alt == 0:
+                    continue
+                if config.behavior == "independent":
+                    low, high = config.acceptance_range
+                    model.acceptance[item] = rng.uniform(
+                        low, high, size=n_alt
+                    )
+                else:
+                    low, high = config.normalized_budget_range
+                    budget = rng.uniform(low, high)
+                    model.acceptance[item] = budget * rng.dirichlet(
+                        np.ones(n_alt)
+                    )
+        self.period += 1
+
+    # ------------------------------------------------------------------
+    def run(
+        self, n_periods: int, sessions_per_period: int
+    ) -> Iterator[Tuple[int, Clickstream, PreferenceGraph]]:
+        """Yield ``(period, clickstream, true_graph)`` for each period.
+
+        Advances the market after each yield; after the generator is
+        exhausted the market sits at ``period == start + n_periods``.
+        """
+        for _ in range(n_periods):
+            yield self.period, self.generate(sessions_per_period), \
+                self.true_graph()
+            self.advance()

@@ -1,0 +1,228 @@
+"""Synthetic e-commerce consumer simulator.
+
+The paper's private datasets (PE/PF/PM) cannot be redistributed, so this
+module provides their stand-in: a parametric consumer-behavior model that
+generates clickstreams exercising exactly the code paths the real data
+would (see DESIGN.md, substitution 1).  The model:
+
+* assigns item popularity by a Zipf law (heavy-tailed sales, as in real
+  catalogs);
+* partitions the catalog into substitution clusters (items of the same
+  product family) and gives each item a small set of in-cluster
+  alternatives with acceptance probabilities;
+* simulates sessions under either variant's semantics —
+  ``independent`` shoppers click each alternative independently with its
+  acceptance probability, ``normalized`` shoppers click at most one
+  alternative (mutually exclusive choices);
+* optionally emits browse-only sessions and noise clicks.
+
+Because the generator *knows* the acceptance probabilities, it exposes
+the ground-truth preference graph (:meth:`ConsumerModel.true_graph`),
+letting tests verify that the Data Adaptation Engine's estimates converge
+to the truth as sessions accumulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .._rng import SeedLike, resolve_rng
+from ..core.graph import PreferenceGraph
+from ..errors import ClickstreamFormatError
+from .models import Clickstream, Session
+
+
+@dataclass(frozen=True)
+class ShopperConfig:
+    """Parameters of the synthetic consumer model.
+
+    Attributes:
+        n_items: catalog size.
+        behavior: ``"independent"`` or ``"normalized"`` — which variant's
+            dependency structure shoppers exhibit.
+        zipf_exponent: popularity skew; weight of the rank-``r`` item is
+            proportional to ``1 / r**zipf_exponent``.
+        cluster_size: size of each substitution cluster (product family).
+        max_alternatives: upper bound on the number of alternatives per
+            item (the paper's graphs average ~4–5 edges per item).
+        acceptance_range: range from which independent-mode acceptance
+            probabilities are drawn.
+        normalized_budget_range: range of the per-item total probability
+            that *some* alternative is acceptable (normalized mode); the
+            individual edge weights are a random split of this budget.
+        browse_only_rate: fraction of sessions with no purchase (YC-style
+            streams have many).
+        self_click_rate: probability the shopper also clicks the item
+            they end up buying (the engine must ignore these clicks).
+        item_prefix: item ids are ``f"{item_prefix}{index}"``.
+    """
+
+    n_items: int
+    behavior: str = "independent"
+    zipf_exponent: float = 1.05
+    cluster_size: int = 8
+    max_alternatives: int = 4
+    acceptance_range: Tuple[float, float] = (0.15, 0.75)
+    normalized_budget_range: Tuple[float, float] = (0.4, 0.95)
+    browse_only_rate: float = 0.0
+    self_click_rate: float = 0.3
+    item_prefix: str = "item-"
+
+    def __post_init__(self) -> None:
+        if self.n_items < 1:
+            raise ClickstreamFormatError("n_items must be >= 1")
+        if self.behavior not in ("independent", "normalized"):
+            raise ClickstreamFormatError(
+                f"behavior must be 'independent' or 'normalized', "
+                f"got {self.behavior!r}"
+            )
+        if self.cluster_size < 1:
+            raise ClickstreamFormatError("cluster_size must be >= 1")
+        if not (0.0 <= self.browse_only_rate < 1.0):
+            raise ClickstreamFormatError("browse_only_rate must be in [0, 1)")
+
+
+class ConsumerModel:
+    """A fully specified shopper population over a synthetic catalog.
+
+    Construction materializes the ground truth: item popularity and, for
+    every item, its alternatives with acceptance probabilities.  Session
+    generation then samples from that truth.
+    """
+
+    def __init__(self, config: ShopperConfig, *, seed: SeedLike = None):
+        self.config = config
+        rng = resolve_rng(seed)
+        n = config.n_items
+
+        # Zipf popularity over a random permutation of items, so cluster
+        # membership (consecutive indices) is uncorrelated with rank.
+        ranks = rng.permutation(n) + 1
+        raw = 1.0 / np.power(ranks.astype(np.float64), config.zipf_exponent)
+        self.popularity = raw / raw.sum()
+
+        # Substitution structure: ring neighbors inside each cluster.
+        self.alternatives: List[np.ndarray] = []
+        self.acceptance: List[np.ndarray] = []
+        for item in range(n):
+            cluster_start = (item // config.cluster_size) * config.cluster_size
+            cluster_end = min(cluster_start + config.cluster_size, n)
+            cluster_n = cluster_end - cluster_start
+            if cluster_n <= 1:
+                self.alternatives.append(np.empty(0, dtype=np.int64))
+                self.acceptance.append(np.empty(0, dtype=np.float64))
+                continue
+            n_alt = int(rng.integers(1, min(config.max_alternatives,
+                                            cluster_n - 1) + 1))
+            offsets = 1 + np.arange(n_alt)
+            alts = cluster_start + (item - cluster_start + offsets) % cluster_n
+            if config.behavior == "independent":
+                low, high = config.acceptance_range
+                probs = rng.uniform(low, high, size=n_alt)
+            else:
+                low, high = config.normalized_budget_range
+                budget = rng.uniform(low, high)
+                split = rng.dirichlet(np.ones(n_alt))
+                probs = budget * split
+            self.alternatives.append(alts.astype(np.int64))
+            self.acceptance.append(probs)
+
+        self._item_ids = [f"{config.item_prefix}{i}" for i in range(n)]
+
+    # ------------------------------------------------------------------
+    @property
+    def item_ids(self) -> List[str]:
+        """Item ids in index order."""
+        return list(self._item_ids)
+
+    def true_graph(self) -> PreferenceGraph:
+        """The exact preference graph the shopper population follows.
+
+        Node weights are the purchase popularity; the edge ``A -> B``
+        carries the probability a shopper who desires ``A`` accepts ``B``
+        — exactly what the Data Adaptation Engine estimates from
+        clicks.
+        """
+        graph = PreferenceGraph()
+        for item, weight in zip(self._item_ids, self.popularity):
+            graph.add_item(item, float(weight))
+        for source in range(self.config.n_items):
+            for target, prob in zip(
+                self.alternatives[source].tolist(),
+                self.acceptance[source].tolist(),
+            ):
+                graph.add_edge(
+                    self._item_ids[source], self._item_ids[target],
+                    float(prob),
+                )
+        return graph
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        n_sessions: int,
+        *,
+        seed: SeedLike = None,
+        session_prefix: str = "s",
+    ) -> Clickstream:
+        """Simulate ``n_sessions`` browsing sessions.
+
+        Purchasing sessions draw the desired item from the popularity
+        distribution, click alternatives per the configured behavior, and
+        purchase the desired item (the full catalog is in stock, matching
+        the paper's setting).  Browse-only sessions click one or two
+        popular items and buy nothing.
+        """
+        rng = resolve_rng(seed)
+        config = self.config
+        n = config.n_items
+        sessions: List[Session] = []
+
+        purchasing = rng.random(n_sessions) >= config.browse_only_rate
+        desired_all = rng.choice(n, size=n_sessions, p=self.popularity)
+        for index in range(n_sessions):
+            session_id = f"{session_prefix}{index}"
+            if not purchasing[index]:
+                n_clicks = int(rng.integers(1, 3))
+                clicked = rng.choice(n, size=n_clicks, p=self.popularity)
+                sessions.append(
+                    Session(
+                        session_id=session_id,
+                        clicks=tuple(self._item_ids[i] for i in clicked),
+                        purchase=None,
+                    )
+                )
+                continue
+
+            desired = int(desired_all[index])
+            clicks: List[str] = []
+            alts = self.alternatives[desired]
+            probs = self.acceptance[desired]
+            if alts.size:
+                if config.behavior == "independent":
+                    hits = rng.random(alts.size) < probs
+                    clicks.extend(
+                        self._item_ids[i] for i in alts[hits].tolist()
+                    )
+                else:
+                    # Mutually exclusive choice: alternative j with
+                    # probability probs[j], none with the remainder.
+                    roll = rng.random()
+                    cumulative = np.cumsum(probs)
+                    chosen = int(np.searchsorted(cumulative, roll))
+                    if chosen < alts.size:
+                        clicks.append(self._item_ids[int(alts[chosen])])
+            if rng.random() < config.self_click_rate:
+                clicks.append(self._item_ids[desired])
+            rng.shuffle(clicks)
+            sessions.append(
+                Session(
+                    session_id=session_id,
+                    clicks=tuple(clicks),
+                    purchase=self._item_ids[desired],
+                )
+            )
+        return Clickstream(sessions)

@@ -1,0 +1,163 @@
+"""Clickstream serialization.
+
+Two formats are supported:
+
+* **YooChoose CSV** — the RecSys 2015 challenge layout the paper's public
+  YC dataset ships in: a clicks file (``session,timestamp,item,category``)
+  and a buys file (``session,timestamp,item,price,quantity``).  The
+  reader reassembles sessions by joining the two files on session id, so
+  the genuine ``yoochoose-clicks.dat`` / ``yoochoose-buys.dat`` files can
+  be dropped into this reproduction unchanged.
+* **JSON lines** — one session per line
+  (``{"session_id": ..., "clicks": [...], "purchase": ...}``), the
+  compact native format used by the examples and tests.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..errors import ClickstreamFormatError
+from .models import Clickstream, Session
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# JSON lines
+# ----------------------------------------------------------------------
+def write_jsonl(clickstream: Clickstream, path: PathLike) -> None:
+    """Write one session per line as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for session in clickstream:
+            record = {
+                "session_id": session.session_id,
+                "clicks": list(session.clicks),
+                "purchase": session.purchase,
+            }
+            handle.write(json.dumps(record) + "\n")
+
+
+def read_jsonl(path: PathLike) -> Clickstream:
+    """Read a JSON-lines clickstream written by :func:`write_jsonl`."""
+    sessions: List[Session] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ClickstreamFormatError(
+                    f"{path}:{line_no}: invalid JSON: {exc}"
+                ) from exc
+            if "session_id" not in record or "clicks" not in record:
+                raise ClickstreamFormatError(
+                    f"{path}:{line_no}: session must have 'session_id' "
+                    f"and 'clicks'"
+                )
+            sessions.append(
+                Session(
+                    session_id=record["session_id"],
+                    clicks=tuple(record["clicks"]),
+                    purchase=record.get("purchase"),
+                )
+            )
+    return Clickstream(sessions)
+
+
+# ----------------------------------------------------------------------
+# YooChoose CSV
+# ----------------------------------------------------------------------
+def write_yoochoose(
+    clickstream: Clickstream,
+    clicks_path: PathLike,
+    buys_path: PathLike,
+) -> None:
+    """Write YooChoose-format clicks and buys files.
+
+    Timestamps are synthesized as per-session sequence numbers (the
+    adaptation engine never uses them); category, price and quantity
+    columns are filled with placeholder zeros.
+    """
+    with open(clicks_path, "w", newline="", encoding="utf-8") as clicks_file:
+        writer = csv.writer(clicks_file)
+        for session in clickstream:
+            for seq, item in enumerate(session.clicks):
+                timestamp = f"2014-04-01T00:00:{seq:02d}.000Z"
+                writer.writerow([session.session_id, timestamp, item, 0])
+    with open(buys_path, "w", newline="", encoding="utf-8") as buys_file:
+        writer = csv.writer(buys_file)
+        for session in clickstream:
+            if session.purchase is not None:
+                timestamp = "2014-04-01T00:01:00.000Z"
+                writer.writerow(
+                    [session.session_id, timestamp, session.purchase, 0, 1]
+                )
+
+
+def read_yoochoose(
+    clicks_path: PathLike,
+    buys_path: PathLike,
+    *,
+    max_sessions: Optional[int] = None,
+) -> Clickstream:
+    """Read YooChoose clicks/buys files into a clickstream.
+
+    Sessions with multiple distinct purchased items are kept with the
+    *first* purchase (the paper works with single-purchase sessions; the
+    real dataset is customarily filtered this way).  ``max_sessions``
+    truncates for quick experiments.
+    """
+    purchases: Dict[str, str] = {}
+    with open(buys_path, "r", encoding="utf-8") as handle:
+        for line_no, row in enumerate(csv.reader(handle), start=1):
+            if not row:
+                continue
+            if len(row) < 3:
+                raise ClickstreamFormatError(
+                    f"{buys_path}:{line_no}: expected >=3 columns, "
+                    f"got {len(row)}"
+                )
+            session_id, _timestamp, item = row[0], row[1], row[2]
+            purchases.setdefault(session_id, item)
+
+    clicks: Dict[str, List[str]] = defaultdict(list)
+    session_order: List[str] = []
+    with open(clicks_path, "r", encoding="utf-8") as handle:
+        for line_no, row in enumerate(csv.reader(handle), start=1):
+            if not row:
+                continue
+            if len(row) < 3:
+                raise ClickstreamFormatError(
+                    f"{clicks_path}:{line_no}: expected >=3 columns, "
+                    f"got {len(row)}"
+                )
+            session_id, _timestamp, item = row[0], row[1], row[2]
+            if session_id not in clicks:
+                session_order.append(session_id)
+            clicks[session_id].append(item)
+
+    # Purchases without any click row still form (click-less) sessions.
+    for session_id in purchases:
+        if session_id not in clicks:
+            session_order.append(session_id)
+            clicks[session_id] = []
+
+    sessions = []
+    for session_id in session_order:
+        sessions.append(
+            Session(
+                session_id=session_id,
+                clicks=tuple(clicks[session_id]),
+                purchase=purchases.get(session_id),
+            )
+        )
+        if max_sessions is not None and len(sessions) >= max_sessions:
+            break
+    return Clickstream(sessions)

@@ -1,0 +1,163 @@
+"""Clickstream data model (paper Section 5.2).
+
+E-commerce platforms record browsing history as a *clickstream*: events
+(clicks and purchases) grouped by session.  Following the paper, we
+assume only the minimal information available on most platforms — clicks
+and purchases per session — and model a session as the set of items
+clicked plus the (at most one) item purchased.  Sessions ending in a
+purchase are the signal the Data Adaptation Engine consumes: the
+purchased item is the *desired* item, and clicked items are the
+alternatives the consumer considered.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import ClickstreamFormatError
+
+ItemId = Hashable
+
+
+@dataclass(frozen=True)
+class Session:
+    """One browsing session.
+
+    Attributes:
+        session_id: opaque identifier.
+        clicks: item ids clicked during the session, in click order.
+            May include the purchased item; the adaptation engine ignores
+            clicks on the purchased item itself.
+        purchase: the single purchased item, or ``None`` for a browse-only
+            session (the paper argues such sessions are not driven by an
+            intention to buy and do not affect the model).
+    """
+
+    session_id: Hashable
+    clicks: Tuple[ItemId, ...]
+    purchase: Optional[ItemId] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "clicks", tuple(self.clicks))
+
+    @property
+    def has_purchase(self) -> bool:
+        """Whether the session ended with a purchase."""
+        return self.purchase is not None
+
+    def alternatives(self) -> Tuple[ItemId, ...]:
+        """Distinct clicked items other than the purchase, in click order.
+
+        These are the items the paper's construction treats as considered
+        alternatives to the desired (purchased) item.
+        """
+        seen = set()
+        result = []
+        for item in self.clicks:
+            if item == self.purchase or item in seen:
+                continue
+            seen.add(item)
+            result.append(item)
+        return tuple(result)
+
+
+class Clickstream:
+    """A collection of sessions with summary accessors.
+
+    Iterable and indexable; construction validates that session ids are
+    unique so downstream joins are unambiguous.
+    """
+
+    def __init__(self, sessions: Iterable[Session]) -> None:
+        self._sessions: List[Session] = list(sessions)
+        ids = set()
+        for session in self._sessions:
+            if session.session_id in ids:
+                raise ClickstreamFormatError(
+                    f"duplicate session id {session.session_id!r}"
+                )
+            ids.add(session.session_id)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __iter__(self) -> Iterator[Session]:
+        return iter(self._sessions)
+
+    def __getitem__(self, index: int) -> Session:
+        return self._sessions[index]
+
+    @property
+    def n_sessions(self) -> int:
+        """Total number of sessions (with or without purchase)."""
+        return len(self._sessions)
+
+    @property
+    def n_purchases(self) -> int:
+        """Number of sessions ending with a purchase."""
+        return sum(1 for s in self._sessions if s.has_purchase)
+
+    def purchasing_sessions(self) -> "Clickstream":
+        """The sub-stream of sessions that ended with a purchase."""
+        return Clickstream(s for s in self._sessions if s.has_purchase)
+
+    def items(self) -> List[ItemId]:
+        """All distinct item ids appearing anywhere, in first-seen order."""
+        seen: Dict[ItemId, None] = {}
+        for session in self._sessions:
+            for item in session.clicks:
+                seen.setdefault(item, None)
+            if session.purchase is not None:
+                seen.setdefault(session.purchase, None)
+        return list(seen)
+
+    def purchase_counts(self) -> Counter:
+        """Counter of purchases per item."""
+        counts: Counter = Counter()
+        for session in self._sessions:
+            if session.purchase is not None:
+                counts[session.purchase] += 1
+        return counts
+
+    def stats(self) -> Dict[str, int]:
+        """Table 2-style summary: sessions, purchases, items."""
+        return {
+            "sessions": self.n_sessions,
+            "purchases": self.n_purchases,
+            "items": len(self.items()),
+        }
+
+    def extend(self, other: "Clickstream") -> "Clickstream":
+        """Concatenate two clickstreams into a new one."""
+        return Clickstream(list(self._sessions) + list(other._sessions))
+
+    def __repr__(self) -> str:
+        return (
+            f"Clickstream(sessions={self.n_sessions}, "
+            f"purchases={self.n_purchases})"
+        )
+
+
+def sessions_from_dicts(records: Iterable[dict]) -> Clickstream:
+    """Build a clickstream from ``{"clicks": [...], "purchase": ...}`` dicts.
+
+    Missing ``session_id`` fields are auto-numbered.  This is the format
+    used by :func:`repro.examples_data.figure3_sessions`.
+    """
+    sessions = []
+    for i, record in enumerate(records):
+        if "clicks" not in record:
+            raise ClickstreamFormatError(
+                f"session record {i} lacks a 'clicks' field"
+            )
+        sessions.append(
+            Session(
+                session_id=record.get("session_id", i),
+                clicks=tuple(record["clicks"]),
+                purchase=record.get("purchase"),
+            )
+        )
+    return Clickstream(sessions)

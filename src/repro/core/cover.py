@@ -1,0 +1,112 @@
+"""Exact evaluation of the cover function ``C(S)`` (Definitions 2.1, 2.2).
+
+Given a retained set ``S``, the cover is the probability that a request
+drawn from the node-weight distribution is matched:
+
+* retained items are matched with probability one;
+* a non-retained ``v`` is matched with the variant-specific probability
+  computed from the edges into its retained neighbors
+  (:meth:`repro.core.variants.Variant.match_probability`).
+
+These functions recompute ``C(S)`` from scratch; the solvers maintain it
+incrementally, and the test-suite cross-checks the two at every step.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from .csr import CSRGraph, as_csr
+from .variants import Variant
+
+GraphLike = Union[CSRGraph, "PreferenceGraph"]  # noqa: F821 - doc alias
+
+
+def resolve_indices(csr: CSRGraph, retained: Iterable) -> np.ndarray:
+    """Map an iterable of item ids (or dense indices) to index array.
+
+    Integer inputs that are valid indices are passed through; everything
+    else is looked up through the graph's item table.  Duplicates are
+    removed while preserving first-occurrence order (the greedy order).
+    """
+    seen = set()
+    out = []
+    for item in retained:
+        if isinstance(item, (int, np.integer)) and 0 <= item < csr.n_items:
+            idx = int(item)
+        else:
+            idx = csr.index_of(item)
+        if idx not in seen:
+            seen.add(idx)
+            out.append(idx)
+    return np.asarray(out, dtype=np.int64)
+
+
+def coverage_vector(
+    graph: GraphLike,
+    retained: Iterable,
+    variant: "Variant | str",
+) -> np.ndarray:
+    """The paper's array ``I``: per-item probability of request-and-match.
+
+    ``I[v] = W(v) * P(request for v is matched by S)``; the sum of the
+    entries equals ``C(S)``.  Retained items have ``I[v] = W(v)``.
+    """
+    variant = Variant.coerce(variant)
+    csr = as_csr(graph)
+    indices = resolve_indices(csr, retained)
+    in_set = np.zeros(csr.n_items, dtype=bool)
+    in_set[indices] = True
+
+    cover_prob = np.zeros(csr.n_items, dtype=np.float64)
+    cover_prob[in_set] = 1.0
+    not_retained = np.flatnonzero(~in_set)
+    for v in not_retained:
+        targets, weights = csr.out_edges(v)
+        mask = in_set[targets]
+        if not mask.any():
+            continue
+        retained_weights = weights[mask]
+        if variant is Variant.INDEPENDENT:
+            cover_prob[v] = 1.0 - np.prod(1.0 - retained_weights)
+        else:
+            cover_prob[v] = min(1.0, float(retained_weights.sum()))
+    return csr.node_weight * cover_prob
+
+
+def cover(
+    graph: GraphLike,
+    retained: Iterable,
+    variant: "Variant | str",
+) -> float:
+    """Compute ``C(S)`` exactly for a retained set ``S``."""
+    return float(coverage_vector(graph, retained, variant).sum())
+
+
+def item_coverage(
+    graph: GraphLike,
+    retained: Iterable,
+    variant: "Variant | str",
+) -> np.ndarray:
+    """Per-item *conditional* coverage: ``I[v] / W(v)``.
+
+    This is the per-item percentage the system of Figure 2 reports
+    (retained items show 100%).  Items with zero request probability are
+    reported as fully covered when retained and zero otherwise, to avoid
+    0/0.
+    """
+    csr = as_csr(graph)
+    vector = coverage_vector(csr, retained, variant)
+    weights = csr.node_weight
+    out = np.zeros(csr.n_items, dtype=np.float64)
+    positive = weights > 0
+    out[positive] = vector[positive] / weights[positive]
+    zero_weight = ~positive
+    if zero_weight.any():
+        indices = resolve_indices(csr, retained)
+        retained_mask = np.zeros(csr.n_items, dtype=bool)
+        retained_mask[indices] = True
+        out[zero_weight & retained_mask] = 1.0
+    return out

@@ -1,0 +1,383 @@
+"""The greedy Preference Cover solver (the paper's Algorithm 1).
+
+Algorithm 1 selects, at each of ``k`` iterations, the node with the
+maximum marginal gain to ``C(S)``.  Because both cover functions are
+monotone submodular, the same scheme serves both variants — only the
+``Gain``/``AddNode`` procedures differ (Algorithms 2/3 vs 4/5, implemented
+in :mod:`repro.core.gain`) — and carries the guarantees proved in the
+paper: ``1 - 1/e`` for the Independent variant (tight), and
+``max(1 - 1/e, 1 - (1 - k/n)^2)`` for the Normalized variant.
+
+Three execution strategies produce the same selection rule with different
+costs:
+
+``naive``
+    Recomputes every candidate's gain each iteration — a vectorized
+    transliteration of Algorithm 1, ``O(k * E)`` work.  This is the
+    strategy whose per-candidate independence the paper exploits for
+    parallelization (see :mod:`repro.core.parallel`).
+
+``lazy``
+    CELF lazy evaluation: submodularity makes stale gains upper bounds,
+    so candidates are kept in a max-heap and only re-evaluated when they
+    reach the top.  Typically evaluates a tiny fraction of ``n * k``
+    gains.
+
+``accelerated``
+    Maintains the full gain array incrementally: adding ``v*`` only
+    changes the gains of nodes within two hops, so each iteration costs
+    ``O(out_deg(v*) + sum over in-neighbors' out-degrees)`` (Independent)
+    or ``O(in_deg(v*) + out_deg(v*))`` (Normalized) plus one ``argmax``.
+
+All strategies implement the identical mathematical rule (max gain,
+lowest index on ties); their outputs can differ only through
+floating-point summation order on near-exact ties.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from ..errors import SolverError
+from .csr import CSRGraph, as_csr
+from .gain import GreedyState
+from .result import SolveResult
+from .variants import Variant
+
+#: Recognized strategy names; ``auto`` resolves to ``accelerated``.
+STRATEGIES = ("auto", "naive", "lazy", "accelerated")
+
+#: Optional per-iteration hook: ``callback(iteration, node, gain, cover)``.
+IterationCallback = Callable[[int, int, float, float], None]
+
+
+def greedy_solve(
+    graph,
+    k: int,
+    variant: "Variant | str",
+    *,
+    strategy: str = "auto",
+    parallel: Optional["ParallelGainEvaluator"] = None,  # noqa: F821
+    callback: Optional[IterationCallback] = None,
+    must_retain: Optional[Iterable] = None,
+    exclude: Optional[Iterable] = None,
+) -> SolveResult:
+    """Solve ``IPC_k`` / ``NPC_k`` with the greedy algorithm.
+
+    Args:
+        graph: a ``PreferenceGraph`` or ``CSRGraph``.
+        k: number of items to retain (``0 <= k <= n``).
+        variant: ``"independent"`` or ``"normalized"`` (or a ``Variant``).
+        strategy: one of ``auto``, ``naive``, ``lazy``, ``accelerated``.
+        parallel: a :class:`repro.core.parallel.ParallelGainEvaluator` to
+            spread naive-strategy gain evaluation across worker processes
+            (only consulted by the naive strategy).
+        callback: optional per-iteration progress hook.
+        must_retain: items that are retained unconditionally (contractual
+            listings, store-brand products).  They occupy the first
+            positions of the solution and count toward ``k``.
+        exclude: items that may never be retained (recalled or delisted
+            products).  They can still be *covered* by alternatives.
+
+    The constrained run remains a greedy maximization of the same
+    monotone submodular function over the free items, so the classic
+    guarantee applies to the marginal value added on top of the forced
+    prefix.
+
+    Returns:
+        A :class:`SolveResult` with the retained items in selection order,
+        the achieved cover, the coverage array ``I`` and per-prefix covers.
+    """
+    variant = Variant.coerce(variant)
+    csr = as_csr(graph)
+    n = csr.n_items
+    if not isinstance(k, (int, np.integer)):
+        raise SolverError(f"k must be an integer, got {type(k).__name__}")
+    if k < 0 or k > n:
+        raise SolverError(f"k={k} out of range [0, {n}]")
+    if strategy not in STRATEGIES:
+        raise SolverError(
+            f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
+    if strategy == "auto":
+        strategy = "accelerated"
+
+    from .cover import resolve_indices
+
+    seed_indices = (
+        resolve_indices(csr, must_retain) if must_retain is not None
+        else np.empty(0, dtype=np.int64)
+    )
+    exclude_indices = (
+        resolve_indices(csr, exclude) if exclude is not None
+        else np.empty(0, dtype=np.int64)
+    )
+    forbidden: Optional[np.ndarray] = None
+    if exclude_indices.size:
+        forbidden = np.zeros(n, dtype=bool)
+        forbidden[exclude_indices] = True
+        if forbidden[seed_indices].any():
+            raise SolverError("must_retain and exclude sets overlap")
+    if seed_indices.size > k:
+        raise SolverError(
+            f"must_retain has {seed_indices.size} items but k={k}"
+        )
+    if k > n - exclude_indices.size:
+        raise SolverError(
+            f"k={k} exceeds the {n - exclude_indices.size} non-excluded "
+            f"items"
+        )
+
+    state = GreedyState(csr, variant)
+    prefix_covers = np.zeros(k + 1, dtype=np.float64)
+    start = time.perf_counter()
+
+    for node in seed_indices.tolist():
+        state.add_node(node)
+        prefix_covers[state.size] = state.cover
+    remaining = k - state.size
+
+    if strategy == "naive":
+        evaluations = _run_naive(
+            state, remaining, prefix_covers, parallel, callback,
+            forbidden=forbidden,
+        )
+    elif strategy == "lazy":
+        evaluations = _run_lazy(
+            state, remaining, prefix_covers, callback, forbidden=forbidden
+        )
+    else:
+        evaluations = _run_accelerated(
+            state, remaining, prefix_covers, callback, forbidden=forbidden
+        )
+
+    elapsed = time.perf_counter() - start
+    indices = state.retained_indices()
+    return SolveResult(
+        variant=variant,
+        k=k,
+        retained=[csr.items[i] for i in indices.tolist()],
+        retained_indices=indices,
+        cover=float(state.cover),
+        coverage=state.coverage,
+        item_ids=csr.items,
+        prefix_covers=prefix_covers,
+        strategy=f"greedy-{strategy}",
+        wall_time_s=elapsed,
+        gain_evaluations=evaluations,
+    )
+
+
+def greedy_order(
+    graph,
+    variant: "Variant | str",
+    *,
+    strategy: str = "auto",
+) -> SolveResult:
+    """Run the greedy to exhaustion (``k = n``).
+
+    The resulting ordering solves *every* ``k`` at once (prefix property,
+    Section 3.2) and directly powers the complementary threshold solver.
+    """
+    csr = as_csr(graph)
+    return greedy_solve(csr, csr.n_items, variant, strategy=strategy)
+
+
+# ----------------------------------------------------------------------
+# Strategy implementations
+# ----------------------------------------------------------------------
+def _run_naive(
+    state: GreedyState,
+    k: int,
+    prefix_covers: np.ndarray,
+    parallel,
+    callback: Optional[IterationCallback],
+    forbidden: Optional[np.ndarray] = None,
+) -> int:
+    """Algorithm 1 verbatim: full gain recomputation each iteration."""
+    n = state.csr.n_items
+    evaluations = 0
+    for iteration in range(k):
+        if parallel is not None:
+            gains = parallel.gains(state)
+        else:
+            gains = state.gains_all()
+        evaluations += n - state.size
+        gains[state.in_set] = -np.inf
+        if forbidden is not None:
+            gains[forbidden] = -np.inf
+        best = int(np.argmax(gains))
+        gain = float(gains[best])
+        state.add_node(best)
+        prefix_covers[state.size] = state.cover
+        if callback is not None:
+            callback(iteration, best, gain, state.cover)
+    return evaluations
+
+
+def _run_lazy(
+    state: GreedyState,
+    k: int,
+    prefix_covers: np.ndarray,
+    callback: Optional[IterationCallback],
+    forbidden: Optional[np.ndarray] = None,
+) -> int:
+    """CELF lazy greedy.
+
+    Heap entries are ``(-gain, node)``; ``last_eval[node]`` records the
+    retained-set size at which that gain was computed.  A popped entry
+    whose gain is current is selected immediately; otherwise it is
+    re-evaluated and pushed back — valid because submodularity guarantees
+    gains never increase as the set grows.
+    """
+    n = state.csr.n_items
+    initial = state.gains_all()
+    evaluations = n
+    heap = [
+        (-float(initial[v]), v)
+        for v in range(n)
+        if not state.in_set[v]
+        and (forbidden is None or not forbidden[v])
+    ]
+    heapq.heapify(heap)
+    # Set size at evaluation time; seeds make size > 0 initially.
+    last_eval = np.full(n, state.size, dtype=np.int64)
+
+    for iteration in range(k):
+        while True:
+            neg_gain, v = heapq.heappop(heap)
+            if last_eval[v] == state.size:
+                break
+            fresh = state.gain(v)
+            evaluations += 1
+            last_eval[v] = state.size
+            heapq.heappush(heap, (-fresh, v))
+        gain = -neg_gain
+        state.add_node(v)
+        prefix_covers[state.size] = state.cover
+        if callback is not None:
+            callback(iteration, v, gain, state.cover)
+    return evaluations
+
+
+def accelerated_step(
+    state: GreedyState,
+    gains: np.ndarray,
+    force: Optional[int] = None,
+    forbidden: Optional[np.ndarray] = None,
+) -> tuple:
+    """One iteration of the accelerated greedy: select, commit, patch gains.
+
+    ``force`` overrides the argmax selection with a specific node (used
+    by the incremental solver when replaying a previous order); the gain
+    bookkeeping is identical either way.
+
+    Adding the selected node ``v*`` perturbs candidate gains in exactly
+    three ways, each patched in place on ``gains``:
+
+    1. ``v*`` itself leaves the candidate pool;
+    2. each out-neighbor ``x`` of ``v*`` loses the term ``v*`` contributed
+       to ``gain(x)`` while it was outside ``S``;
+    3. (Independent only) each in-neighbor ``u`` of ``v*`` has its deficit
+       shrunk, which rescales ``u``'s contribution to every out-neighbor's
+       gain and to its own self term.  Under the Normalized variant the
+       contribution ``W(u) * W(u, x)`` does not depend on the deficit, so
+       only ``u``'s self term changes.
+
+    Returns ``(best, gain)``.  Shared by :func:`greedy_solve` and the
+    complementary threshold solver.
+    """
+    csr = state.csr
+    variant = state.variant
+    if force is None:
+        # Retired candidates (retained or forbidden) are kept at -inf in
+        # the gains array itself, so selection is a plain argmax.
+        best = int(np.argmax(gains))
+        gain = float(gains[best])
+    else:
+        best = int(force)
+        gain = float(gains[best])
+        if gain == -np.inf:
+            gain = 0.0  # forced re-commit of an already-retired entry
+
+    # Snapshot the quantities the update rules need *before* mutating.
+    deficit_before = float(state.deficit[best])
+    in_src, in_w = csr.in_edges(best)
+    outside_mask = ~state.in_set[in_src]
+    u_nodes = in_src[outside_mask]
+    u_weights = in_w[outside_mask]
+    if variant is Variant.INDEPENDENT:
+        u_deficit_before = state.deficit[u_nodes].copy()
+
+    state.add_node(best)
+
+    # (2) best stopped being an outside contributor to its out-neighbors'
+    # gains.
+    out_dst, out_w = csr.out_edges(best)
+    if out_dst.size:
+        if variant is Variant.INDEPENDENT:
+            gains[out_dst] -= out_w * deficit_before
+        else:
+            gains[out_dst] -= out_w * csr.node_weight[best]
+
+    # (3) in-neighbors' deficits shrank.
+    if u_nodes.size:
+        if variant is Variant.INDEPENDENT:
+            delta = u_weights * u_deficit_before  # deficit reduction
+            np.add.at(gains, u_nodes, -delta)  # self terms
+            # Contributions to every out-neighbor x of each u: gather
+            # all the u's out-edge slices in one vectorized pass.
+            starts = csr.out_ptr[u_nodes]
+            counts = csr.out_ptr[u_nodes + 1] - starts
+            total = int(counts.sum())
+            if total:
+                offsets = np.repeat(
+                    starts - np.concatenate(([0], np.cumsum(counts)[:-1])),
+                    counts,
+                )
+                flat = np.arange(total, dtype=np.int64) + offsets
+                x_dst = csr.out_dst[flat]
+                x_w = csr.out_weight[flat]
+                np.subtract.at(
+                    gains, x_dst, x_w * np.repeat(delta, counts)
+                )
+        else:
+            delta = u_weights * csr.node_weight[u_nodes]
+            np.add.at(gains, u_nodes, -delta)
+
+    gains[best] = -np.inf
+    return best, gain
+
+
+def _run_accelerated(
+    state: GreedyState,
+    k: int,
+    prefix_covers: np.ndarray,
+    callback: Optional[IterationCallback],
+    forbidden: Optional[np.ndarray] = None,
+) -> int:
+    """Incrementally-maintained gain array (see :func:`accelerated_step`)."""
+    gains = prepare_accelerated_gains(state, forbidden)
+    evaluations = state.csr.n_items
+    for iteration in range(k):
+        best, gain = accelerated_step(state, gains)
+        prefix_covers[state.size] = state.cover
+        if callback is not None:
+            callback(iteration, best, gain, state.cover)
+    return evaluations
+
+
+def prepare_accelerated_gains(
+    state: GreedyState, forbidden: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Gain array for :func:`accelerated_step`: retired entries at -inf."""
+    gains = state.gains_all()
+    if state.size:
+        gains[state.in_set] = -np.inf
+    if forbidden is not None:
+        gains[forbidden] = -np.inf
+    return gains

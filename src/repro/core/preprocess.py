@@ -1,0 +1,130 @@
+"""Candidate pruning with a provable cover-loss bound.
+
+At catalog scale most items are neither requested often nor useful as
+alternatives.  An item ``v``'s *standalone ceiling* —
+
+    ceiling(v) = W(v) + sum over in-edges (u, v) of W(u) * W(u, v)
+
+— upper-bounds the marginal gain ``v`` can ever contribute (it equals
+the singleton gain, and submodularity only shrinks gains as the set
+grows).  Dropping ``v`` from *candidacy* (it can still be covered by
+others!) therefore costs at most ``ceiling(v)`` of cover, and dropping a
+whole set of candidates costs at most the sum of their ceilings.
+
+:func:`prune_candidates` selects the largest set of candidates to drop
+subject to a total loss budget ``epsilon``, returning the exclusion list
+(pluggable straight into ``greedy_solve(..., exclude=...)``) and the
+exact bound.  On Zipf-skewed catalogs this removes a large fraction of
+candidates for a negligible epsilon, shrinking every greedy iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from ..errors import SolverError
+from .csr import as_csr
+from .gain import GreedyState
+from .variants import Variant
+
+
+@dataclass(frozen=True)
+class PruningPlan:
+    """Result of a pruning pass.
+
+    Attributes:
+        excluded_indices: candidate indices safe to exclude.
+        loss_bound: guaranteed upper bound on the cover lost by
+            excluding them (sum of their standalone ceilings).
+        ceilings: the full per-item ceiling vector (diagnostics).
+    """
+
+    excluded_indices: np.ndarray
+    loss_bound: float
+    ceilings: np.ndarray
+
+    @property
+    def n_excluded(self) -> int:
+        """Number of pruned candidates."""
+        return int(self.excluded_indices.size)
+
+
+def candidate_ceilings(graph, variant: "Variant | str") -> np.ndarray:
+    """Per-item standalone ceilings (singleton marginal gains).
+
+    Identical for both variants with respect to the empty set, but
+    computed through the variant's gain rule for uniformity.
+    """
+    variant = Variant.coerce(variant)
+    csr = as_csr(graph)
+    state = GreedyState(csr, variant)
+    return state.gains_all()
+
+
+def prune_candidates(
+    graph,
+    variant: "Variant | str",
+    *,
+    epsilon: float = 1e-4,
+    keep_at_least: int = 1,
+) -> PruningPlan:
+    """Choose candidates to exclude within a total loss budget.
+
+    Greedily drops the smallest-ceiling items while the cumulative
+    ceiling stays below ``epsilon``; always keeps at least
+    ``keep_at_least`` candidates so a solve remains possible.
+    """
+    if epsilon < 0:
+        raise SolverError(f"epsilon must be >= 0, got {epsilon}")
+    csr = as_csr(graph)
+    n = csr.n_items
+    if keep_at_least < 0 or keep_at_least > n:
+        raise SolverError(
+            f"keep_at_least={keep_at_least} out of range [0, {n}]"
+        )
+    ceilings = candidate_ceilings(csr, variant)
+    order = np.argsort(ceilings, kind="stable")
+    cumulative = np.cumsum(ceilings[order])
+    within_budget = int(np.searchsorted(cumulative, epsilon, side="right"))
+    n_drop = min(within_budget, n - keep_at_least)
+    excluded = np.sort(order[:n_drop])
+    loss_bound = float(cumulative[n_drop - 1]) if n_drop else 0.0
+    return PruningPlan(
+        excluded_indices=excluded,
+        loss_bound=loss_bound,
+        ceilings=ceilings,
+    )
+
+
+def pruned_greedy_solve(
+    graph,
+    k: int,
+    variant: "Variant | str",
+    *,
+    epsilon: float = 1e-4,
+    strategy: str = "auto",
+):
+    """Convenience: prune, then solve with the survivors as candidates.
+
+    Returns ``(result, plan)``.  The formal guarantee is on the optimum:
+    ``OPT_k(V \\ X) >= OPT_k(V) - plan.loss_bound`` (removing a candidate
+    from any solution loses at most its ceiling, by submodularity), so
+    the pruned greedy keeps its approximation factor relative to an
+    optimum at most ``loss_bound`` below the unrestricted one.
+    """
+    from .greedy import greedy_solve
+
+    csr = as_csr(graph)
+    plan = prune_candidates(csr, variant, epsilon=epsilon)
+    free_items = csr.n_items - plan.n_excluded
+    if k > free_items:
+        # The budget would forbid a feasible solve; keep enough items.
+        plan = prune_candidates(
+            csr, variant, epsilon=epsilon, keep_at_least=k
+        )
+    result = greedy_solve(
+        csr, k, variant, strategy=strategy,
+        exclude=plan.excluded_indices if plan.n_excluded else None,
+    )
+    return result, plan

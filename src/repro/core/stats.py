@@ -1,0 +1,111 @@
+"""Descriptive statistics of preference graphs.
+
+Inventory analysts inspect a preference graph before reducing it:
+how skewed is demand, how substitutable is the catalog, how much of the
+demand could alternatives absorb at all.  These are also the quantities
+the paper's performance analysis is parameterized by (``n``, ``D`` — the
+maximum in-degree — and the edge count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from .csr import as_csr
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a preference graph.
+
+    Attributes:
+        n_items / n_edges: graph size.
+        max_in_degree: the paper's ``D`` (bounds greedy iteration cost).
+        mean_out_degree: average number of alternatives per item.
+        isolated_items: items with neither incoming nor outgoing edges —
+            they can only be covered by being retained.
+        weight_gini: Gini coefficient of the node weights (demand skew;
+            0 = uniform, near 1 = a few items dominate sales).
+        top_10pct_weight_share: demand share of the best-selling decile.
+        mean_out_weight_sum: average per-item total edge weight — the
+            substitutability of demand (under the Normalized variant this
+            is the mean probability that *some* alternative is
+            acceptable).
+        uncoverable_without_self: demand mass of items that have *no*
+            alternatives, i.e. must be retained to be covered at all.
+    """
+
+    n_items: int
+    n_edges: int
+    max_in_degree: int
+    mean_out_degree: float
+    isolated_items: int
+    weight_gini: float
+    top_10pct_weight_share: float
+    mean_out_weight_sum: float
+    uncoverable_without_self: float
+
+    def to_dict(self) -> Dict:
+        """Plain-dict view (JSON-friendly)."""
+        return {
+            "n_items": self.n_items,
+            "n_edges": self.n_edges,
+            "max_in_degree": self.max_in_degree,
+            "mean_out_degree": self.mean_out_degree,
+            "isolated_items": self.isolated_items,
+            "weight_gini": self.weight_gini,
+            "top_10pct_weight_share": self.top_10pct_weight_share,
+            "mean_out_weight_sum": self.mean_out_weight_sum,
+            "uncoverable_without_self": self.uncoverable_without_self,
+        }
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient of a nonnegative vector (0 when all equal)."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    n = values.size
+    if n == 0:
+        return 0.0
+    total = values.sum()
+    if total <= 0:
+        return 0.0
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * np.dot(ranks, values) / (n * total)) - (n + 1) / n)
+
+
+def graph_stats(graph) -> GraphStats:
+    """Compute :class:`GraphStats` for a preference graph."""
+    csr = as_csr(graph)
+    n = csr.n_items
+    in_degrees = csr.in_degrees()
+    out_degrees = csr.out_degrees()
+    weights = csr.node_weight
+
+    isolated = int(np.sum((in_degrees == 0) & (out_degrees == 0)))
+    sorted_weights = np.sort(weights)[::-1]
+    top_decile = max(1, n // 10)
+    total_weight = float(weights.sum())
+    top_share = (
+        float(sorted_weights[:top_decile].sum()) / total_weight
+        if total_weight > 0 else 0.0
+    )
+    out_sums = csr.out_weight_sums()
+    no_alternatives = out_degrees == 0
+    uncoverable = (
+        float(weights[no_alternatives].sum()) / total_weight
+        if total_weight > 0 else 0.0
+    )
+    return GraphStats(
+        n_items=n,
+        n_edges=csr.n_edges,
+        max_in_degree=int(in_degrees.max()) if n else 0,
+        mean_out_degree=float(out_degrees.mean()) if n else 0.0,
+        isolated_items=isolated,
+        weight_gini=gini_coefficient(weights),
+        top_10pct_weight_share=top_share,
+        mean_out_weight_sum=float(out_sums.mean()) if n else 0.0,
+        uncoverable_without_self=uncoverable,
+    )

@@ -1,0 +1,82 @@
+"""Problem variants of the Preference Cover problem.
+
+The paper (Sections 2.1 and 2.2) defines two interpretations of the
+probabilistic dependencies between alternatives:
+
+* **Independent** (``IPC_k``): every retained alternative is accepted
+  independently with its edge probability.  A request for a non-retained
+  item ``v`` is matched with probability
+  ``1 - prod_{u in R_v(S)} (1 - W(v, u))``.
+
+* **Normalized** (``NPC_k``): each consumer accepts at most one
+  alternative, so the outgoing edge weights of every node sum to at most
+  one and a request for a non-retained ``v`` is matched with probability
+  ``sum_{u in R_v(S)} W(v, u)``.
+
+Both cover functions are nonnegative, monotone and submodular, which is
+what makes the shared greedy scheme (Algorithm 1) applicable to both.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+
+class Variant(enum.Enum):
+    """The two edge-dependency semantics studied in the paper."""
+
+    INDEPENDENT = "independent"
+    NORMALIZED = "normalized"
+
+    @classmethod
+    def coerce(cls, value: "Variant | str") -> "Variant":
+        """Accept either a :class:`Variant` or its string name/value.
+
+        Raises :class:`ValueError` for anything unrecognized; matching is
+        case-insensitive and accepts the short aliases ``"ipc"``/``"npc"``.
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            key = value.strip().lower()
+            aliases = {
+                "independent": cls.INDEPENDENT,
+                "ipc": cls.INDEPENDENT,
+                "ipc_k": cls.INDEPENDENT,
+                "normalized": cls.NORMALIZED,
+                "normalised": cls.NORMALIZED,
+                "npc": cls.NORMALIZED,
+                "npc_k": cls.NORMALIZED,
+            }
+            if key in aliases:
+                return aliases[key]
+        raise ValueError(
+            f"unknown Preference Cover variant: {value!r} "
+            f"(expected 'independent' or 'normalized')"
+        )
+
+    def match_probability(self, edge_weights: Iterable[float]) -> float:
+        """Probability a request is matched by retained alternatives.
+
+        ``edge_weights`` are the weights of the edges from the requested
+        (non-retained) item into its *retained* neighbors.  This is the
+        scalar building block of both cover functions (Definitions 2.1 and
+        2.2); it is exercised directly by the Monte-Carlo replay validator.
+        """
+        if self is Variant.INDEPENDENT:
+            not_matched = 1.0
+            for w in edge_weights:
+                not_matched *= 1.0 - w
+            return 1.0 - not_matched
+        return min(1.0, sum(edge_weights))
+
+    @property
+    def short_name(self) -> str:
+        """Paper-style abbreviation: ``IPC`` or ``NPC``."""
+        return "IPC" if self is Variant.INDEPENDENT else "NPC"
+
+
+#: Convenience aliases mirroring the paper's notation.
+INDEPENDENT = Variant.INDEPENDENT
+NORMALIZED = Variant.NORMALIZED

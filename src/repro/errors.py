@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still being able to distinguish the concrete
+failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphValidationError(ReproError):
+    """A preference graph violates a structural or weight invariant.
+
+    Examples: node weights that do not sum to one, an edge weight outside
+    ``(0, 1]``, or — under the Normalized variant — a node whose outgoing
+    edge weights sum to more than one.
+    """
+
+
+class UnknownItemError(ReproError, KeyError):
+    """An item id was referenced that is not present in the graph."""
+
+
+class SolverError(ReproError):
+    """A solver received inconsistent or unsatisfiable parameters.
+
+    Examples: ``k`` larger than the number of items, a negative ``k``, a
+    coverage threshold outside ``[0, 1]``, or an unsolvable threshold.
+    """
+
+
+class ClickstreamFormatError(ReproError):
+    """Raw clickstream data could not be parsed or is semantically invalid."""
+
+
+class AdaptationError(ReproError):
+    """The data adaptation engine could not build a preference graph.
+
+    Raised, for instance, when the clickstream contains no purchases (node
+    weights would be undefined) or when a requested variant's fitness
+    precondition is violated and strict checking is enabled.
+    """

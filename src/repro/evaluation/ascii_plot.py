@@ -1,0 +1,149 @@
+"""Terminal plotting for the reproduced figures.
+
+The offline environment has no plotting stack, so the figure drivers
+render with text: horizontal bar charts (optionally log-scaled — the
+paper's Figure 4b is a log-scale plot) and multi-series line plots on a
+character grid (Figures 4c/4f).  Output is deterministic, making the
+renderers testable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..errors import SolverError
+
+#: Characters used for line-plot series, in assignment order.
+SERIES_MARKS = "ox+*#@"
+
+
+def bar_chart(
+    labels: Sequence,
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: Optional[str] = None,
+    log_scale: bool = False,
+    value_format: str = "{:.4g}",
+) -> str:
+    """Horizontal bar chart.
+
+    With ``log_scale=True`` bar lengths are proportional to
+    ``log10(value)`` shifted to the smallest positive value — the right
+    rendering for quantities spanning orders of magnitude (Figure 4b's
+    runtimes).  Zero/negative values draw empty bars.
+    """
+    if len(labels) != len(values):
+        raise SolverError("labels and values must have equal length")
+    if width < 1:
+        raise SolverError(f"width must be >= 1, got {width}")
+    if not values:
+        return title or "(no data)"
+
+    if log_scale:
+        positive = [v for v in values if v > 0]
+        if not positive:
+            scaled = [0.0 for _ in values]
+        else:
+            low = math.log10(min(positive))
+            high = math.log10(max(positive))
+            span = max(high - low, 1e-12)
+            scaled = [
+                (math.log10(v) - low) / span if v > 0 else 0.0
+                for v in values
+            ]
+    else:
+        top = max(values)
+        scaled = [v / top if top > 0 else 0.0 for v in values]
+
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value, fraction in zip(labels, values, scaled):
+        bar = "#" * max(0, round(fraction * width))
+        lines.append(
+            f"{str(label).rjust(label_width)} |{bar.ljust(width)}| "
+            f"{value_format.format(value)}"
+        )
+    if log_scale:
+        lines.append(f"{'':>{label_width}}  (log scale)")
+    return "\n".join(lines)
+
+
+def line_plot(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 15,
+    title: Optional[str] = None,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Multi-series scatter/line plot on a character grid.
+
+    Each series gets a marker from :data:`SERIES_MARKS`; a legend and
+    axis ranges are printed below the grid.  Points sharing a cell show
+    the later series' marker.
+    """
+    if not xs:
+        return title or "(no data)"
+    if width < 2 or height < 2:
+        raise SolverError("width and height must be >= 2")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise SolverError(
+                f"series {name!r} has {len(ys)} points, expected {len(xs)}"
+            )
+    if len(series) > len(SERIES_MARKS):
+        raise SolverError(
+            f"at most {len(SERIES_MARKS)} series supported"
+        )
+
+    all_y = [y for ys in series.values() for y in ys]
+    lo = min(all_y) if y_min is None else y_min
+    hi = max(all_y) if y_max is None else y_max
+    if hi <= lo:
+        hi = lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = max(x_hi - x_lo, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    for mark, (name, ys) in zip(SERIES_MARKS, series.items()):
+        for x, y in zip(xs, ys):
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((y - lo) / (hi - lo) * (height - 1))
+            row = min(max(row, 0), height - 1)
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:10.4g} +{'-' * width}+")
+    for row in grid:
+        lines.append(f"{'':10} |{''.join(row)}|")
+    lines.append(f"{lo:10.4g} +{'-' * width}+")
+    lines.append(f"{'':10}  x: {x_lo:g} .. {x_hi:g}")
+    legend = "   ".join(
+        f"{mark} {name}"
+        for mark, name in zip(SERIES_MARKS, series.keys())
+    )
+    lines.append(f"{'':10}  {legend}")
+    return "\n".join(lines)
+
+
+def figure_4c_plot(rows: Sequence[Dict], *, width: int = 60) -> str:
+    """Render coverage-curve rows (from ``coverage_curve``) as a plot."""
+    xs = [row["k/n"] for row in rows]
+    series_names = [
+        key for key in rows[0] if key not in ("k/n", "k")
+    ]
+    series = {name: [row[name] for row in rows] for name in series_names}
+    return line_plot(
+        xs, series,
+        width=width,
+        title="coverage vs k/n",
+        y_min=0.0, y_max=1.0,
+    )

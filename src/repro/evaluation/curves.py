@@ -1,0 +1,143 @@
+"""Series builders for the paper's figure-style analyses.
+
+These produce the data series behind Figures 4c and 4f as reusable
+library calls — coverage as a function of the budget for a set of
+algorithms, and retained-set size as a function of the coverage target —
+so analyses are not locked inside the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .._rng import SeedLike
+from ..core.baselines import (
+    random_solve,
+    top_k_coverage_order,
+    top_k_coverage_threshold,
+    top_k_weight_order,
+    top_k_weight_threshold,
+)
+from ..core.cover import cover
+from ..core.csr import as_csr
+from ..core.greedy import greedy_order
+from ..core.threshold import greedy_threshold_solve
+from ..core.variants import Variant
+from ..errors import SolverError
+
+#: The algorithm set of the paper's Figure 4c.
+DEFAULT_ALGORITHMS = ("greedy", "topk-weight", "topk-coverage", "random")
+
+
+def coverage_curve(
+    graph,
+    variant: "Variant | str",
+    *,
+    fractions: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    random_draws: int = 10,
+    seed: SeedLike = 0,
+) -> List[dict]:
+    """Cover of each algorithm at each budget fraction (Figure 4c data).
+
+    Orderings with the prefix property (greedy and both TopK rankings)
+    are computed once and sliced per fraction, so the whole curve costs
+    one full ordering per algorithm plus one exact cover evaluation per
+    point.
+
+    Returns one row per fraction: ``{"k/n": f, "k": k, "<algo>": cover}``.
+    """
+    variant = Variant.coerce(variant)
+    csr = as_csr(graph)
+    n = csr.n_items
+    for fraction in fractions:
+        if not (0.0 < fraction <= 1.0):
+            raise SolverError(f"fraction {fraction} outside (0, 1]")
+    unknown = set(algorithms) - set(DEFAULT_ALGORITHMS)
+    if unknown:
+        raise SolverError(
+            f"unknown algorithms {sorted(unknown)}; expected a subset of "
+            f"{DEFAULT_ALGORITHMS}"
+        )
+
+    orderings: Dict[str, np.ndarray] = {}
+    greedy_prefix: Optional[np.ndarray] = None
+    if "greedy" in algorithms:
+        full = greedy_order(csr, variant)
+        orderings["greedy"] = full.retained_indices
+        greedy_prefix = full.prefix_covers
+    if "topk-weight" in algorithms:
+        orderings["topk-weight"] = top_k_weight_order(csr)
+    if "topk-coverage" in algorithms:
+        orderings["topk-coverage"] = top_k_coverage_order(csr, variant)
+
+    rows = []
+    for fraction in fractions:
+        k = max(1, int(n * fraction))
+        row: dict = {"k/n": fraction, "k": k}
+        for name in algorithms:
+            if name == "greedy":
+                row[name] = float(greedy_prefix[k])
+            elif name == "random":
+                row[name] = random_solve(
+                    csr, k, variant, seed=seed, draws=random_draws
+                ).cover
+            else:
+                row[name] = cover(csr, orderings[name][:k], variant)
+        rows.append(row)
+    return rows
+
+
+def threshold_curve(
+    graph,
+    variant: "Variant | str",
+    *,
+    thresholds: Sequence[float] = (0.5, 0.6, 0.7, 0.8, 0.9),
+    include_baselines: bool = True,
+) -> List[dict]:
+    """Retained-set size per coverage target (Figure 4f data).
+
+    Returns one row per threshold with the greedy size (and, when
+    requested, the adapted TopK-W / TopK-C sizes).
+    """
+    variant = Variant.coerce(variant)
+    csr = as_csr(graph)
+    rows = []
+    for threshold in thresholds:
+        greedy = greedy_threshold_solve(csr, threshold, variant)
+        row = {
+            "threshold": threshold,
+            "greedy": greedy.k,
+            "greedy_cover": greedy.cover,
+        }
+        if include_baselines:
+            row["topk-weight"] = top_k_weight_threshold(
+                csr, threshold, variant
+            ).k
+            row["topk-coverage"] = top_k_coverage_threshold(
+                csr, threshold, variant
+            ).k
+        rows.append(row)
+    return rows
+
+
+def marginal_gain_profile(
+    graph,
+    variant: "Variant | str",
+    *,
+    k: Optional[int] = None,
+) -> np.ndarray:
+    """Per-iteration marginal gains of the greedy run (diminishing returns).
+
+    Useful for picking a budget: the curve's knee is where additional
+    items stop paying for themselves.  Returns an array of length
+    ``k`` (default ``n``).
+    """
+    csr = as_csr(graph)
+    result = greedy_order(csr, variant)
+    gains = np.diff(result.prefix_covers)
+    if k is not None:
+        gains = gains[:k]
+    return gains

@@ -1,0 +1,96 @@
+"""Holdout evaluation: score a retained set on unseen sessions.
+
+The paper evaluates via the model's own cover function; an orthogonal,
+assumption-light check is the standard ML protocol — split the
+clickstream, build the graph on the training sessions, and measure on
+the *held-out* sessions how many would plausibly have ended in a sale
+against the reduced inventory:
+
+* a test session whose purchased item is retained is **fulfilled**;
+* otherwise, if the shopper *demonstrably considered* a retained item
+  (clicked it during the session), the session counts as **substituted**
+  — the revealed-preference analogue of accepting an alternative;
+* otherwise the session is **lost**.
+
+``fulfilled + substituted`` is an empirical, model-free counterpart to
+``C(S)``; comparing selectors on it avoids rewarding a method for
+merely agreeing with its own modeling assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from .._rng import SeedLike, resolve_rng
+from ..clickstream.models import Clickstream
+from ..errors import SolverError
+
+
+@dataclass(frozen=True)
+class HoldoutReport:
+    """Session-level outcome counts on a held-out clickstream."""
+
+    n_sessions: int        # purchasing sessions evaluated
+    fulfilled: int         # purchased item retained
+    substituted: int       # purchase dropped, but a clicked item retained
+    lost: int              # no retained item touched the session
+
+    @property
+    def fulfillment_rate(self) -> float:
+        """Fraction of sessions with the exact item available."""
+        return self.fulfilled / self.n_sessions if self.n_sessions else 0.0
+
+    @property
+    def service_rate(self) -> float:
+        """Fulfilled or substituted — the empirical analogue of C(S)."""
+        if not self.n_sessions:
+            return 0.0
+        return (self.fulfilled + self.substituted) / self.n_sessions
+
+
+def split_clickstream(
+    clickstream: Clickstream,
+    *,
+    train_fraction: float = 0.8,
+    seed: SeedLike = 0,
+) -> Tuple[Clickstream, Clickstream]:
+    """Random train/test split of the sessions."""
+    if not (0.0 < train_fraction < 1.0):
+        raise SolverError(
+            f"train_fraction must be in (0, 1), got {train_fraction}"
+        )
+    rng = resolve_rng(seed)
+    sessions = list(clickstream)
+    order = rng.permutation(len(sessions))
+    cut = int(len(sessions) * train_fraction)
+    train = Clickstream(sessions[i] for i in order[:cut])
+    test = Clickstream(sessions[i] for i in order[cut:])
+    return train, test
+
+
+def evaluate_holdout(
+    retained: Iterable,
+    test_stream: Clickstream,
+) -> HoldoutReport:
+    """Score a retained set against held-out purchasing sessions."""
+    retained_set = set(retained)
+    fulfilled = substituted = lost = 0
+    for session in test_stream:
+        if session.purchase is None:
+            continue
+        if session.purchase in retained_set:
+            fulfilled += 1
+        elif any(
+            item in retained_set for item in session.alternatives()
+        ):
+            substituted += 1
+        else:
+            lost += 1
+    total = fulfilled + substituted + lost
+    return HoldoutReport(
+        n_sessions=total,
+        fulfilled=fulfilled,
+        substituted=substituted,
+        lost=lost,
+    )

@@ -1,0 +1,105 @@
+"""Comparison metrics and plain-text reporting for experiments.
+
+Small, dependency-free helpers the benchmark harness uses to print the
+paper's tables and figure series: approximation ratios against an
+optimum, lift over baselines, and a fixed-width ASCII table formatter
+(benchmarks print rows rather than plot, per the reproduction protocol).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+from ..core.result import SolveResult
+from ..errors import SolverError
+
+
+def approximation_ratio(achieved: float, optimal: float) -> float:
+    """``achieved / optimal`` with the degenerate zero-optimum case = 1."""
+    if optimal < 0:
+        raise SolverError(f"optimal cover cannot be negative: {optimal}")
+    if optimal == 0.0:
+        return 1.0
+    return achieved / optimal
+
+
+def lift(candidate: float, baseline: float) -> float:
+    """Relative improvement of ``candidate`` over ``baseline``.
+
+    Returns ``(candidate - baseline) / baseline``; infinite baselines of
+    zero are reported as ``float("inf")`` when the candidate is positive
+    and 0.0 otherwise.
+    """
+    if baseline == 0.0:
+        return float("inf") if candidate > 0 else 0.0
+    return (candidate - baseline) / baseline
+
+
+def coverage_comparison(
+    results: Mapping[str, SolveResult],
+    *,
+    reference: Optional[str] = None,
+) -> List[dict]:
+    """Rows comparing named solver results on one instance.
+
+    Each row has the solver name, cover, wall time and (when
+    ``reference`` is given) the ratio to the reference solver's cover.
+    """
+    reference_cover = None
+    if reference is not None:
+        if reference not in results:
+            raise SolverError(f"reference {reference!r} not among results")
+        reference_cover = results[reference].cover
+    rows = []
+    for name, result in results.items():
+        row = {
+            "algorithm": name,
+            "cover": result.cover,
+            "k": result.k,
+            "wall_time_s": result.wall_time_s,
+        }
+        if reference_cover is not None:
+            row["ratio_to_reference"] = approximation_ratio(
+                result.cover, reference_cover
+            )
+        rows.append(row)
+    return rows
+
+
+def format_table(
+    rows: Sequence[Mapping],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.4f}",
+    title: Optional[str] = None,
+) -> str:
+    """Render dict rows as a fixed-width ASCII table.
+
+    Column order defaults to first-row key order.  Floats are formatted
+    with ``float_format``; everything else with ``str``.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+
+    def render(value) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    table = [[render(row.get(col, "")) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in table))
+        for i, col in enumerate(cols)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    rule = "  ".join("-" * widths[i] for i in range(len(cols)))
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(cols)))
+        for line in table
+    )
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([header, rule, body])
+    return "\n".join(parts)

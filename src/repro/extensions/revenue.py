@@ -1,0 +1,120 @@
+"""Revenue-weighted Preference Cover (paper Section 7, future work).
+
+The paper's base setting treats every sale as equally valuable (fixed
+commission).  The natural extension weighs each matched request for item
+``v`` by a per-item revenue ``r_v``, maximizing expected revenue::
+
+    R(S) = sum_v r_v * W(v) * P(request for v matched by S)
+
+Scaling node weights by nonnegative revenues preserves nonnegativity,
+monotonicity and submodularity, so the same greedy machinery applies
+with the identical ``(1 - 1/e)`` guarantee for the Independent variant —
+the solver here simply runs :func:`repro.core.greedy.greedy_solve` on a
+revenue-scaled copy of the graph.  Note the NPC-specific
+``1 - (1 - k/n)^2`` bound relies on the VC reduction's node weights
+summing to 1 only up to normalization, which scaling also preserves.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Union
+
+import numpy as np
+
+from ..core.csr import CSRGraph, as_csr
+from ..core.greedy import greedy_solve
+from ..core.result import SolveResult
+from ..core.variants import Variant
+from ..errors import SolverError
+
+RevenueLike = Union[Mapping[Hashable, float], np.ndarray]
+
+
+def _revenue_vector(csr: CSRGraph, revenues: RevenueLike) -> np.ndarray:
+    """Resolve per-item revenues to a dense vector aligned with the CSR."""
+    if isinstance(revenues, np.ndarray):
+        vector = np.ascontiguousarray(revenues, dtype=np.float64)
+        if vector.shape != (csr.n_items,):
+            raise SolverError(
+                f"revenue vector has shape {vector.shape}, expected "
+                f"({csr.n_items},)"
+            )
+    else:
+        vector = np.empty(csr.n_items, dtype=np.float64)
+        for index, item in enumerate(csr.items):
+            if item not in revenues:
+                raise SolverError(f"no revenue given for item {item!r}")
+            vector[index] = float(revenues[item])
+    if np.any(vector < 0) or np.any(np.isnan(vector)):
+        raise SolverError("revenues must be nonnegative numbers")
+    return vector
+
+
+def revenue_scaled_graph(graph, revenues: RevenueLike) -> CSRGraph:
+    """A copy of ``graph`` with node weights multiplied by revenues.
+
+    The resulting node weights no longer sum to one — they are expected
+    revenue masses — which the solver machinery never requires.
+    """
+    csr = as_csr(graph)
+    vector = _revenue_vector(csr, revenues)
+    # The in-CSR arrays enumerate every edge exactly once, so together
+    # with the reconstructed destination column they form a valid COO.
+    return CSRGraph.from_arrays(
+        csr.node_weight * vector,
+        csr.in_src.copy(),
+        _in_dst(csr),
+        csr.in_weight.copy(),
+        items=list(csr.items),
+    )
+
+
+def _in_dst(csr: CSRGraph) -> np.ndarray:
+    """Destination index of every entry of the in-CSR arrays."""
+    return np.repeat(
+        np.arange(csr.n_items, dtype=np.int64), csr.in_degrees()
+    )
+
+
+def revenue_greedy_solve(
+    graph,
+    k: int,
+    variant: "Variant | str",
+    revenues: RevenueLike,
+    *,
+    strategy: str = "auto",
+) -> SolveResult:
+    """Greedy maximization of expected revenue under a size budget.
+
+    Returns a :class:`SolveResult` whose ``cover`` field holds the
+    expected revenue ``R(S)`` (not a probability) and whose ``coverage``
+    array holds per-item expected revenue contributions.
+    """
+    scaled = revenue_scaled_graph(graph, revenues)
+    result = greedy_solve(scaled, k, variant, strategy=strategy)
+    return SolveResult(
+        variant=result.variant,
+        k=result.k,
+        retained=result.retained,
+        retained_indices=result.retained_indices,
+        cover=result.cover,
+        coverage=result.coverage,
+        item_ids=result.item_ids,
+        prefix_covers=result.prefix_covers,
+        strategy=f"revenue-{result.strategy}",
+        wall_time_s=result.wall_time_s,
+        gain_evaluations=result.gain_evaluations,
+    )
+
+
+def expected_revenue(
+    graph, retained: Iterable, variant: "Variant | str",
+    revenues: RevenueLike,
+) -> float:
+    """Expected revenue ``R(S)`` of an arbitrary retained set."""
+    from ..core.cover import coverage_vector
+
+    csr = as_csr(graph)
+    vector = _revenue_vector(csr, revenues)
+    coverage = coverage_vector(csr, retained, variant)
+    return float(np.dot(coverage, vector))

@@ -1,0 +1,104 @@
+"""Preference-graph serialization.
+
+Two on-disk formats:
+
+* **JSON** — human-readable, item ids preserved as strings; the format
+  the CLI's ``build-graph``/``solve`` commands exchange.
+* **NPZ** — numpy's compressed archive holding the CSR arrays directly;
+  the right choice for million-node graphs (loads without touching
+  per-item Python objects).  Item ids are stored as a string array.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .core.csr import CSRGraph, as_csr
+from .core.graph import PreferenceGraph
+from .errors import ClickstreamFormatError
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# JSON (dictionary-backed graphs)
+# ----------------------------------------------------------------------
+def write_graph_json(graph: PreferenceGraph, path: PathLike) -> None:
+    """Write a preference graph as ``{"nodes": {...}, "edges": [...]}``.
+
+    Item ids are coerced to strings (JSON object keys must be strings);
+    reading back therefore yields string ids.
+    """
+    payload = {
+        "nodes": {str(item): graph.node_weight(item) for item in graph},
+        "edges": [
+            [str(source), str(target), weight]
+            for source, target, weight in graph.edges()
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def read_graph_json(path: PathLike) -> PreferenceGraph:
+    """Read a graph written by :func:`write_graph_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ClickstreamFormatError(
+                f"{path}: invalid JSON: {exc}"
+            ) from exc
+    if "nodes" not in payload or "edges" not in payload:
+        raise ClickstreamFormatError(
+            f"{path}: graph JSON must have 'nodes' and 'edges'"
+        )
+    return PreferenceGraph.from_weights(
+        payload["nodes"],
+        edges=[(s, t, w) for s, t, w in payload["edges"]],
+    )
+
+
+# ----------------------------------------------------------------------
+# NPZ (array-backed graphs)
+# ----------------------------------------------------------------------
+def write_graph_npz(graph, path: PathLike) -> None:
+    """Write a graph's CSR arrays to a compressed ``.npz`` archive."""
+    csr = as_csr(graph)
+    np.savez_compressed(
+        path,
+        node_weight=csr.node_weight,
+        edge_src=csr.in_src,
+        edge_dst=np.repeat(
+            np.arange(csr.n_items, dtype=np.int64), csr.in_degrees()
+        ),
+        edge_weight=csr.in_weight,
+        items=np.asarray([str(item) for item in csr.items], dtype=object),
+    )
+
+
+def read_graph_npz(path: PathLike) -> CSRGraph:
+    """Read a graph written by :func:`write_graph_npz`.
+
+    Item ids come back as strings (they were stringified on write).
+    """
+    with np.load(path, allow_pickle=True) as archive:
+        required = {
+            "node_weight", "edge_src", "edge_dst", "edge_weight", "items",
+        }
+        missing = required - set(archive.files)
+        if missing:
+            raise ClickstreamFormatError(
+                f"{path}: npz archive missing arrays: {sorted(missing)}"
+            )
+        return CSRGraph.from_arrays(
+            archive["node_weight"],
+            archive["edge_src"],
+            archive["edge_dst"],
+            archive["edge_weight"],
+            items=list(archive["items"]),
+        )

@@ -1,0 +1,56 @@
+"""Executable reductions and bounds: Theorems 3.1, 4.1 and Table 1."""
+
+from .bounds import (
+    GREEDY_CROSSOVER,
+    ONE_MINUS_INV_E,
+    Table1Row,
+    best_known_ratio,
+    greedy_ratio_bound,
+    table1_rows,
+)
+from .exact_milp import milp_solve_npc, milp_solve_vc
+from .lp_rounding import (
+    LP_ROUNDING_FACTOR,
+    lp_round_solve,
+    lp_round_vc,
+    pipage_round,
+    solve_vc_lp,
+)
+from .dominating_set import (
+    DirectedGraphInstance,
+    dominated_count,
+    ds_to_ipc,
+    greedy_dominating_set,
+)
+from .vertex_cover import (
+    MaxVertexCoverInstance,
+    greedy_vertex_cover,
+    npc_to_vc,
+    vc_cover_weight,
+    vc_to_npc,
+)
+
+__all__ = [
+    "DirectedGraphInstance",
+    "GREEDY_CROSSOVER",
+    "LP_ROUNDING_FACTOR",
+    "milp_solve_npc",
+    "milp_solve_vc",
+    "lp_round_solve",
+    "lp_round_vc",
+    "pipage_round",
+    "solve_vc_lp",
+    "MaxVertexCoverInstance",
+    "ONE_MINUS_INV_E",
+    "Table1Row",
+    "best_known_ratio",
+    "dominated_count",
+    "ds_to_ipc",
+    "greedy_dominating_set",
+    "greedy_ratio_bound",
+    "greedy_vertex_cover",
+    "npc_to_vc",
+    "table1_rows",
+    "vc_cover_weight",
+    "vc_to_npc",
+]

@@ -1,0 +1,192 @@
+"""Max Vertex Cover (``VC_k``) and its equivalence to ``NPC_k``.
+
+Theorem 3.1 of the paper proves the Normalized Preference Cover problem
+and Max Vertex Cover are equivalent under approximation-preserving
+reductions.  This module makes both directions executable:
+
+* :func:`npc_to_vc` — given a preference graph, build the ``VC_k``
+  instance of the forward reduction: complete each node's outgoing
+  weight to one with a self-loop, drop edge orientation, and multiply
+  each edge weight by its origin's node weight.  For every node set
+  ``S``, ``vc_cover_weight(instance, S) == C(S)`` exactly.
+* :func:`vc_to_npc` — the reverse reduction: orient edges arbitrarily,
+  set each node's weight to its outgoing edge mass (self-loops
+  contribute only node weight — the "uncoverable" share), normalize.
+  The cover of any ``S`` in the resulting NPC instance is the VC cover
+  weight divided by the total edge mass.
+
+A direct greedy ``VC_k`` solver (:func:`greedy_vertex_cover`) is
+included both as a standalone baseline and to validate that reducing and
+solving picks the same nodes as solving ``NPC_k`` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+import numpy as np
+
+from ..core.csr import as_csr
+from ..core.graph import PreferenceGraph
+from ..errors import GraphValidationError, SolverError
+
+
+@dataclass(frozen=True)
+class MaxVertexCoverInstance:
+    """An undirected, edge-weighted multigraph (self-loops allowed).
+
+    ``edges`` holds ``(u, v, weight)`` triples over nodes ``0..n-1``;
+    ``u == v`` encodes a self-loop.  Parallel edges are kept separate —
+    as the paper notes, combining them is equivalent for ``VC_k`` but
+    keeping them separate preserves the bookkeeping of the reduction.
+    """
+
+    n: int
+    edges: Tuple[Tuple[int, int, float], ...]
+
+    def __post_init__(self) -> None:
+        for u, v, w in self.edges:
+            if not (0 <= u < self.n and 0 <= v < self.n):
+                raise GraphValidationError(
+                    f"edge ({u}, {v}) endpoint out of range [0, {self.n})"
+                )
+            if w < 0:
+                raise GraphValidationError(
+                    f"edge ({u}, {v}) has negative weight {w}"
+                )
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights (the maximum achievable cover)."""
+        return float(sum(w for _u, _v, w in self.edges))
+
+
+def vc_cover_weight(
+    instance: MaxVertexCoverInstance, selected: Iterable[int]
+) -> float:
+    """Weight of edges incident to ``selected`` (each edge counted once)."""
+    chosen = set(int(v) for v in selected)
+    return float(
+        sum(
+            w
+            for u, v, w in instance.edges
+            if u in chosen or v in chosen
+        )
+    )
+
+
+def greedy_vertex_cover(
+    instance: MaxVertexCoverInstance, k: int
+) -> Tuple[List[int], float]:
+    """Greedy ``VC_k``: repeatedly take the node covering most new weight.
+
+    This is the algorithm of Hochbaum analyzed by Feige & Langberg to a
+    ``max(1 - 1/e, 1 - (1 - k/n)^2)`` factor (paper Table 1).  Returns
+    the selected nodes in order and the covered weight.
+    """
+    if k < 0 or k > instance.n:
+        raise SolverError(f"k={k} out of range [0, {instance.n}]")
+    # Incident edge lists.
+    incident: List[List[int]] = [[] for _ in range(instance.n)]
+    for edge_index, (u, v, _w) in enumerate(instance.edges):
+        incident[u].append(edge_index)
+        if v != u:
+            incident[v].append(edge_index)
+
+    covered = np.zeros(len(instance.edges), dtype=bool)
+    weights = np.asarray([w for _u, _v, w in instance.edges])
+    gains = np.zeros(instance.n, dtype=np.float64)
+    for node in range(instance.n):
+        gains[node] = float(weights[incident[node]].sum())
+    selected: List[int] = []
+    in_set = np.zeros(instance.n, dtype=bool)
+    total = 0.0
+    for _ in range(k):
+        gains_masked = np.where(in_set, -np.inf, gains)
+        best = int(np.argmax(gains_masked))
+        selected.append(best)
+        in_set[best] = True
+        total += float(gains_masked[best])
+        for edge_index in incident[best]:
+            if covered[edge_index]:
+                continue
+            covered[edge_index] = True
+            u, v, w = instance.edges[edge_index]
+            for endpoint in {u, v}:
+                if not in_set[endpoint]:
+                    gains[endpoint] -= w
+        gains[best] = 0.0
+    return selected, total
+
+
+# ----------------------------------------------------------------------
+# Reductions (Theorem 3.1)
+# ----------------------------------------------------------------------
+def npc_to_vc(graph) -> Tuple[MaxVertexCoverInstance, List[Hashable]]:
+    """Forward reduction ``NPC_k -> VC_k``.
+
+    Returns the instance and the item table mapping instance node ``i``
+    back to the preference graph's item.  The instance satisfies, for
+    every ``S``: ``vc_cover_weight(instance, S) == C(S)`` (Normalized
+    cover), which the tests verify over random sets.
+    """
+    csr = as_csr(graph)
+    n = csr.n_items
+    edges: List[Tuple[int, int, float]] = []
+    out_sums = np.zeros(n, dtype=np.float64)
+    for v in range(n):
+        targets, weights = csr.out_edges(v)
+        node_weight = float(csr.node_weight[v])
+        for u, w in zip(targets.tolist(), weights.tolist()):
+            edges.append((v, int(u), node_weight * float(w)))
+        out_sums[v] = float(weights.sum())
+        if out_sums[v] > 1.0 + 1e-9:
+            raise GraphValidationError(
+                f"node {csr.items[v]!r} has out-weight sum "
+                f"{out_sums[v]:.9f} > 1: not a Normalized instance"
+            )
+        residual = max(0.0, 1.0 - out_sums[v])
+        if residual > 0.0:
+            # Self-loop completing the outgoing weight to 1: the share of
+            # requests for v that no alternative can cover.
+            edges.append((v, v, node_weight * residual))
+    return MaxVertexCoverInstance(n=n, edges=tuple(edges)), list(csr.items)
+
+
+def vc_to_npc(
+    instance: MaxVertexCoverInstance,
+) -> Tuple[PreferenceGraph, float]:
+    """Reverse reduction ``VC_k -> NPC_k``.
+
+    Orients each non-loop edge from its first endpoint, assigns each
+    node weight equal to its outgoing edge mass (self-loops included),
+    normalizes node weights to sum to one, and scales edge weights by
+    the origin mass.  Returns ``(graph, total_mass)`` such that for any
+    set ``S``::
+
+        cover(graph, S, "normalized") == vc_cover_weight(instance, S) / total_mass
+
+    Nodes with no incident outgoing mass get weight zero.
+    """
+    out_mass = np.zeros(instance.n, dtype=np.float64)
+    for u, _v, w in instance.edges:
+        out_mass[u] += w
+    total_mass = float(out_mass.sum())
+    if total_mass <= 0.0:
+        raise GraphValidationError(
+            "VC instance has no positive edge weight; reduction undefined"
+        )
+
+    graph = PreferenceGraph()
+    for node in range(instance.n):
+        graph.add_item(node, out_mass[node] / total_mass)
+    # Accumulate parallel (same-direction) edges before insertion, since
+    # PreferenceGraph stores one weight per ordered pair.
+    combined: Dict[Tuple[int, int], float] = {}
+    for u, v, w in instance.edges:
+        if u == v or w == 0.0:
+            continue  # loops become pure node weight
+        combined[(u, v)] = combined.get((u, v), 0.0) + w / out_mass[u]
+    for (u, v), weight in combined.items():
+        graph.add_edge(u, v, min(1.0, weight))
+    return graph, total_mass

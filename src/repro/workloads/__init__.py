@@ -1,0 +1,29 @@
+"""Workload generators: synthetic graphs and the paper's dataset stand-ins."""
+
+from .datasets import (
+    PAPER_DATASETS,
+    DatasetSpec,
+    PaperStats,
+    build_dataset,
+    dataset_table,
+)
+from .graphs import (
+    SyntheticGraphConfig,
+    bounded_degree_graph,
+    random_preference_graph,
+    small_dense_graph,
+    synthetic_graph,
+)
+
+__all__ = [
+    "PAPER_DATASETS",
+    "DatasetSpec",
+    "PaperStats",
+    "SyntheticGraphConfig",
+    "bounded_degree_graph",
+    "build_dataset",
+    "dataset_table",
+    "random_preference_graph",
+    "small_dense_graph",
+    "synthetic_graph",
+]

@@ -1,0 +1,204 @@
+"""Synthetic stand-ins for the paper's evaluation datasets (Table 2).
+
+The paper evaluates on three private eBay-domain clickstreams —
+Electronics (PE), Fashion (PF), Motors (PM) — and the public YooChoose
+stream (YC).  The private data cannot be redistributed and the public
+one cannot be downloaded in this offline environment, so this module
+defines, for each dataset, a :class:`DatasetSpec` whose consumer-model
+parameters are tuned to the *published* statistics (sessions, purchases,
+items, edges, and each dataset's variant-fitness profile: PM is the
+Normalized-fitting one, the rest fit Independent).  Building a spec at a
+``scale`` factor produces a clickstream whose per-item ratios mirror
+Table 2.
+
+Real YooChoose data, where available, can be loaded instead via
+:func:`repro.clickstream.io.read_yoochoose`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .._rng import SeedLike, resolve_rng, spawn_rng
+from ..adaptation.engine import build_preference_graph
+from ..clickstream.generator import ConsumerModel, ShopperConfig
+from ..clickstream.models import Clickstream
+from ..core.variants import Variant
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """The published Table 2 row for a dataset."""
+
+    sessions: int
+    purchases: int
+    items: int
+    edges: int
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A reproducible synthetic dataset definition.
+
+    Attributes:
+        name: the paper's dataset code (PE/PF/PM/YC).
+        description: what the original dataset contained.
+        paper: published statistics (Table 2).
+        behavior: shopper behavior mode, chosen so the dataset passes
+            the same variant-fitness test as in the paper.
+        browse_only_rate: fraction of sessions without purchase (YC has
+            ~97% browse-only sessions; the private datasets were
+            requested as all-purchasing).
+        zipf_exponent / cluster_size / max_alternatives: consumer-model
+            shape parameters tuned to approximate the published
+            edges-per-item ratio.
+    """
+
+    name: str
+    description: str
+    paper: PaperStats
+    behavior: str
+    browse_only_rate: float = 0.0
+    zipf_exponent: float = 1.05
+    cluster_size: int = 10
+    max_alternatives: int = 6
+
+    def variant(self) -> Variant:
+        """The variant the paper applies to this dataset."""
+        if self.behavior == "normalized":
+            return Variant.NORMALIZED
+        return Variant.INDEPENDENT
+
+    def scaled_counts(self, scale: float) -> Tuple[int, int]:
+        """``(n_items, n_sessions)`` at a given scale factor."""
+        if scale <= 0:
+            raise ReproError(f"scale must be positive, got {scale}")
+        n_items = max(30, int(round(self.paper.items * scale)))
+        n_sessions = max(200, int(round(self.paper.sessions * scale)))
+        return n_items, n_sessions
+
+    def build(
+        self, *, scale: float = 0.002, seed: SeedLike = 0
+    ) -> Tuple[Clickstream, ConsumerModel]:
+        """Generate the clickstream (and its ground-truth model)."""
+        rng = resolve_rng(seed)
+        n_items, n_sessions = self.scaled_counts(scale)
+        config = ShopperConfig(
+            n_items=n_items,
+            behavior=self.behavior,
+            zipf_exponent=self.zipf_exponent,
+            cluster_size=self.cluster_size,
+            max_alternatives=self.max_alternatives,
+            browse_only_rate=self.browse_only_rate,
+            item_prefix=f"{self.name.lower()}-",
+        )
+        model = ConsumerModel(config, seed=spawn_rng(rng))
+        clickstream = model.generate(n_sessions, seed=spawn_rng(rng))
+        return clickstream, model
+
+
+#: Registry of the paper's four evaluation datasets.
+PAPER_DATASETS: Dict[str, DatasetSpec] = {
+    "PE": DatasetSpec(
+        name="PE",
+        description="Private e-commerce clickstream, Electronics domain",
+        paper=PaperStats(
+            sessions=10_782_918, purchases=10_782_918,
+            items=1_921_701, edges=9_250_131,
+        ),
+        behavior="independent",
+        zipf_exponent=1.05,
+        cluster_size=10,
+        max_alternatives=6,
+    ),
+    "PF": DatasetSpec(
+        name="PF",
+        description="Private e-commerce clickstream, Fashion domain",
+        paper=PaperStats(
+            sessions=8_630_541, purchases=8_630_541,
+            items=1_681_625, edges=7_182_318,
+        ),
+        behavior="independent",
+        zipf_exponent=1.0,
+        cluster_size=10,
+        max_alternatives=6,
+    ),
+    "PM": DatasetSpec(
+        name="PM",
+        description=(
+            "Private e-commerce clickstream, Motors domain (parts and "
+            "accessories; specific requests, few alternatives — fits "
+            "the Normalized variant)"
+        ),
+        paper=PaperStats(
+            sessions=8_154_160, purchases=8_154_160,
+            items=1_396_674, edges=5_826_429,
+        ),
+        behavior="normalized",
+        zipf_exponent=1.1,
+        cluster_size=9,
+        max_alternatives=7,
+    ),
+    "YC": DatasetSpec(
+        name="YC",
+        description="YooChoose RecSys 2015 challenge clickstream (public)",
+        paper=PaperStats(
+            sessions=9_249_729, purchases=259_579,
+            items=52_739, edges=249_008,
+        ),
+        behavior="independent",
+        browse_only_rate=0.972,
+        zipf_exponent=1.0,
+        cluster_size=10,
+        max_alternatives=8,
+    ),
+}
+
+
+def build_dataset(
+    name: str, *, scale: float = 0.002, seed: SeedLike = 0
+) -> Tuple[Clickstream, ConsumerModel]:
+    """Build one of the paper's datasets by code (PE/PF/PM/YC)."""
+    try:
+        spec = PAPER_DATASETS[name.upper()]
+    except KeyError as exc:
+        raise ReproError(
+            f"unknown dataset {name!r}; expected one of "
+            f"{sorted(PAPER_DATASETS)}"
+        ) from exc
+    return spec.build(scale=scale, seed=seed)
+
+
+def dataset_table(
+    *, scale: float = 0.002, seed: SeedLike = 0
+) -> List[dict]:
+    """Table 2 reproduction rows: paper stats next to generated stats.
+
+    Each row carries, for one dataset: the published sessions /
+    purchases / items / edges, and the same statistics measured on the
+    synthetic clickstream after running it through the Data Adaptation
+    Engine (edges are counted on the resulting preference graph, as in
+    the paper).
+    """
+    rows = []
+    for name, spec in PAPER_DATASETS.items():
+        clickstream, _model = spec.build(scale=scale, seed=seed)
+        graph = build_preference_graph(clickstream, spec.variant())
+        stats = clickstream.stats()
+        rows.append(
+            {
+                "dataset": name,
+                "variant": spec.variant().value,
+                "paper_sessions": spec.paper.sessions,
+                "paper_purchases": spec.paper.purchases,
+                "paper_items": spec.paper.items,
+                "paper_edges": spec.paper.edges,
+                "generated_sessions": stats["sessions"],
+                "generated_purchases": stats["purchases"],
+                "generated_items": graph.n_items,
+                "generated_edges": graph.n_edges,
+            }
+        )
+    return rows

@@ -1,0 +1,228 @@
+"""Direct synthesis of preference graphs at benchmark scale.
+
+The clickstream route (simulate sessions, adapt to a graph) is the
+faithful end-to-end path, but generating tens of millions of sessions to
+obtain a million-node graph is wasteful when a benchmark only needs the
+*graph*.  This module samples preference graphs directly as numpy arrays
+— Zipf-skewed node weights and cluster-local substitution edges, the
+same structure the consumer model induces — and assembles a
+:class:`~repro.core.csr.CSRGraph` without ever touching per-item Python
+objects.  This is what the scalability experiments (Figure 4d/4e) run
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .._rng import SeedLike, resolve_rng
+from ..core.csr import CSRGraph
+from ..core.variants import Variant
+from ..errors import GraphValidationError
+
+
+@dataclass(frozen=True)
+class SyntheticGraphConfig:
+    """Parameters of the direct graph sampler.
+
+    Attributes:
+        n_items: number of nodes.
+        avg_out_degree: expected number of alternatives per item (the
+            paper's datasets average ~4.3–4.8 edges per item).
+        zipf_exponent: popularity skew of the node weights.
+        cluster_span: alternatives are sampled among the next
+            ``cluster_span`` item indices (cyclically) — the index-local
+            structure that substitution clusters induce.
+        long_range_fraction: fraction of edges rewired to uniformly
+            random targets (cross-category substitutions).
+        variant: target variant; ``normalized`` scales each node's
+            out-weights to a random budget <= 1, ``independent`` draws
+            them i.i.d. uniform.
+        acceptance_range: edge-weight range for the independent case.
+        budget_range: per-node out-weight budget range for normalized.
+    """
+
+    n_items: int
+    avg_out_degree: float = 4.5
+    zipf_exponent: float = 1.05
+    cluster_span: int = 12
+    long_range_fraction: float = 0.05
+    variant: Variant = Variant.INDEPENDENT
+    acceptance_range: Tuple[float, float] = (0.1, 0.8)
+    budget_range: Tuple[float, float] = (0.4, 0.95)
+
+
+def synthetic_graph(
+    config: SyntheticGraphConfig, *, seed: SeedLike = None
+) -> CSRGraph:
+    """Sample a preference graph per ``config``.
+
+    The construction is fully vectorized: out-degrees are Poisson (min
+    0, capped by ``cluster_span``), targets are cyclic index offsets
+    within the cluster span plus a sprinkle of uniform long-range
+    targets, duplicate edges are removed, and weights are drawn per the
+    variant.  Node weights are Zipf over a random rank permutation and
+    normalized to sum to one.
+    """
+    if config.n_items < 2:
+        raise GraphValidationError("synthetic graphs need >= 2 items")
+    rng = resolve_rng(seed)
+    n = config.n_items
+    span = max(1, min(config.cluster_span, n - 1))
+
+    # Node weights: Zipf over permuted ranks.
+    ranks = rng.permutation(n) + 1
+    raw = 1.0 / np.power(ranks.astype(np.float64), config.zipf_exponent)
+    node_weight = raw / raw.sum()
+
+    # Edge endpoints.
+    out_deg = rng.poisson(config.avg_out_degree, size=n)
+    np.minimum(out_deg, span, out=out_deg)
+    src = np.repeat(np.arange(n, dtype=np.int64), out_deg)
+    offsets = rng.integers(1, span + 1, size=src.size)
+    dst = (src + offsets) % n
+    if config.long_range_fraction > 0.0 and src.size:
+        rewire = rng.random(src.size) < config.long_range_fraction
+        random_targets = rng.integers(0, n, size=int(rewire.sum()))
+        dst[rewire] = random_targets
+        # Repair any accidental self-edges from rewiring.
+        selfish = dst == src
+        dst[selfish] = (src[selfish] + 1) % n
+
+    # Deduplicate parallel edges.
+    keys = src * n + dst
+    _, unique_idx = np.unique(keys, return_index=True)
+    src = src[unique_idx]
+    dst = dst[unique_idx]
+
+    # Edge weights.
+    if config.variant is Variant.NORMALIZED:
+        raw_w = rng.uniform(0.05, 1.0, size=src.size)
+        sums = np.zeros(n, dtype=np.float64)
+        np.add.at(sums, src, raw_w)
+        budgets = rng.uniform(*config.budget_range, size=n)
+        scale = np.ones(n, dtype=np.float64)
+        nonzero = sums > 0
+        scale[nonzero] = budgets[nonzero] / sums[nonzero]
+        edge_weight = raw_w * scale[src]
+    else:
+        low, high = config.acceptance_range
+        edge_weight = rng.uniform(low, high, size=src.size)
+
+    return CSRGraph.from_arrays(node_weight, src, dst, edge_weight)
+
+
+def random_preference_graph(
+    n_items: int,
+    *,
+    variant: "Variant | str" = Variant.INDEPENDENT,
+    avg_out_degree: float = 4.5,
+    seed: SeedLike = None,
+) -> CSRGraph:
+    """Shorthand for :func:`synthetic_graph` with default structure."""
+    config = SyntheticGraphConfig(
+        n_items=n_items,
+        avg_out_degree=avg_out_degree,
+        variant=Variant.coerce(variant),
+    )
+    return synthetic_graph(config, seed=seed)
+
+
+def bounded_degree_graph(
+    n_items: int,
+    *,
+    max_degree: int = 3,
+    variant: "Variant | str" = Variant.NORMALIZED,
+    seed: SeedLike = None,
+) -> CSRGraph:
+    """Instance with total degree (in + out) bounded by ``max_degree``.
+
+    Theorems 3.1 and 4.1 prove NP-hardness *even* when the maximal
+    degree (disregarding orientation) is 3 — this generator produces
+    that regime, which is also where the bounded-degree algorithms the
+    paper's related work points to ([13]) would apply.  Edges are
+    sampled as a random partial pairing respecting the degree budget;
+    weights follow the variant's rules.
+    """
+    variant = Variant.coerce(variant)
+    if n_items < 2:
+        raise GraphValidationError("need >= 2 items")
+    if max_degree < 1:
+        raise GraphValidationError("max_degree must be >= 1")
+    rng = resolve_rng(seed)
+
+    raw = rng.uniform(0.2, 1.0, size=n_items)
+    node_weight = raw / raw.sum()
+
+    degree = np.zeros(n_items, dtype=np.int64)
+    chosen = set()
+    sources: list = []
+    targets: list = []
+    # Enough random attempts to near-saturate the degree budget.
+    for _ in range(n_items * max_degree * 2):
+        u = int(rng.integers(0, n_items))
+        v = int(rng.integers(0, n_items))
+        if u == v or (u, v) in chosen:
+            continue
+        if degree[u] >= max_degree or degree[v] >= max_degree:
+            continue
+        chosen.add((u, v))
+        degree[u] += 1
+        degree[v] += 1
+        sources.append(u)
+        targets.append(v)
+
+    src = np.asarray(sources, dtype=np.int64)
+    dst = np.asarray(targets, dtype=np.int64)
+    if variant is Variant.NORMALIZED:
+        raw_w = rng.uniform(0.05, 1.0, size=src.size)
+        sums = np.zeros(n_items, dtype=np.float64)
+        np.add.at(sums, src, raw_w)
+        budgets = rng.uniform(0.5, 0.95, size=n_items)
+        scale = np.ones(n_items, dtype=np.float64)
+        nonzero = sums > 0
+        scale[nonzero] = budgets[nonzero] / sums[nonzero]
+        edge_weight = raw_w * scale[src]
+    else:
+        edge_weight = rng.uniform(0.1, 0.8, size=src.size)
+    return CSRGraph.from_arrays(node_weight, src, dst, edge_weight)
+
+
+def small_dense_graph(
+    n_items: int,
+    *,
+    variant: "Variant | str" = Variant.INDEPENDENT,
+    edge_probability: float = 0.3,
+    seed: SeedLike = None,
+) -> CSRGraph:
+    """Dense Erdős–Rényi-style instance for brute-force comparisons.
+
+    Used by the Figure 4a/4b experiments, where ``n`` is tiny and the
+    interesting regime is many overlapping covers.
+    """
+    variant = Variant.coerce(variant)
+    rng = resolve_rng(seed)
+    if n_items < 2:
+        raise GraphValidationError("need >= 2 items")
+    raw = rng.uniform(0.2, 1.0, size=n_items)
+    node_weight = raw / raw.sum()
+    adjacency = rng.random((n_items, n_items)) < edge_probability
+    np.fill_diagonal(adjacency, False)
+    src, dst = np.nonzero(adjacency)
+    if variant is Variant.NORMALIZED:
+        raw_w = rng.uniform(0.05, 1.0, size=src.size)
+        sums = np.zeros(n_items, dtype=np.float64)
+        np.add.at(sums, src, raw_w)
+        budgets = rng.uniform(0.5, 0.95, size=n_items)
+        scale = np.ones(n_items, dtype=np.float64)
+        nonzero = sums > 0
+        scale[nonzero] = budgets[nonzero] / sums[nonzero]
+        edge_weight = raw_w * scale[src]
+    else:
+        edge_weight = rng.uniform(0.1, 0.8, size=src.size)
+    return CSRGraph.from_arrays(
+        node_weight, src.astype(np.int64), dst.astype(np.int64), edge_weight
+    )

@@ -1,0 +1,105 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.evaluation.ascii_plot import bar_chart, figure_4c_plot, line_plot
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_log_scale_compresses(self):
+        linear = bar_chart(["a", "b"], [1.0, 1000.0], width=30)
+        logscale = bar_chart(["a", "b"], [1.0, 1000.0], width=30,
+                             log_scale=True)
+        # Linear: first bar vanishes; log: annotated and still ordered.
+        assert "(log scale)" in logscale
+        assert linear.splitlines()[0].count("#") == 0
+
+    def test_title_and_values(self):
+        text = bar_chart(["x"], [0.5], title="T", value_format="{:.2f}")
+        assert text.startswith("T")
+        assert "0.50" in text
+
+    def test_zero_values_safe(self):
+        text = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "#" not in text
+
+    def test_log_scale_with_zeros(self):
+        text = bar_chart(["a", "b"], [0.0, 10.0], log_scale=True)
+        assert text  # no crash; zero draws empty bar
+
+    def test_validation(self):
+        with pytest.raises(SolverError, match="equal length"):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(SolverError, match="width"):
+            bar_chart(["a"], [1.0], width=0)
+
+    def test_empty(self):
+        assert bar_chart([], [], title="none") == "none"
+
+
+class TestLinePlot:
+    def test_grid_dimensions(self):
+        text = line_plot(
+            [0, 1], {"s": [0.0, 1.0]}, width=20, height=5
+        )
+        lines = text.splitlines()
+        # frame: top border + 5 rows + bottom border + 2 footer lines.
+        assert len(lines) == 9
+        assert all("|" in line for line in lines[1:6])
+
+    def test_markers_placed_at_extremes(self):
+        text = line_plot(
+            [0, 1], {"s": [0.0, 1.0]}, width=10, height=4,
+            y_min=0, y_max=1,
+        )
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert rows[0].strip(" |").startswith("")  # top row exists
+        assert "o" in rows[0]      # y=1 at top
+        assert "o" in rows[-1]     # y=0 at bottom
+
+    def test_legend_lists_all_series(self):
+        text = line_plot(
+            [0, 1], {"alpha": [0, 1], "beta": [1, 0]},
+            width=10, height=4,
+        )
+        assert "o alpha" in text
+        assert "x beta" in text
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(SolverError, match="points"):
+            line_plot([0, 1], {"s": [1.0]})
+
+    def test_too_many_series(self):
+        series = {f"s{i}": [0, 1] for i in range(9)}
+        with pytest.raises(SolverError, match="at most"):
+            line_plot([0, 1], series)
+
+    def test_flat_series_safe(self):
+        text = line_plot([0, 1], {"s": [0.5, 0.5]}, width=8, height=3)
+        assert "o" in text
+
+    def test_empty(self):
+        assert line_plot([], {}, title="none") == "none"
+
+
+class TestFigure4cPlot:
+    def test_renders_curve_rows(self, medium_graph):
+        from repro.evaluation.curves import coverage_curve
+
+        rows = coverage_curve(
+            medium_graph, "independent",
+            fractions=(0.1, 0.5, 0.9),
+            algorithms=("greedy", "random"),
+            seed=0,
+        )
+        text = figure_4c_plot(rows, width=40)
+        assert "coverage vs k/n" in text
+        assert "o greedy" in text
+        assert "x random" in text

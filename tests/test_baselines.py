@@ -1,0 +1,127 @@
+"""Tests for the TopK-W / TopK-C / Random baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    random_solve,
+    top_k_coverage_order,
+    top_k_coverage_solve,
+    top_k_coverage_threshold,
+    top_k_weight_order,
+    top_k_weight_solve,
+    top_k_weight_threshold,
+)
+from repro.core.cover import cover
+from repro.core.csr import as_csr
+from repro.core.greedy import greedy_solve
+from repro.errors import SolverError
+
+
+class TestTopKWeight:
+    def test_selects_heaviest(self, figure1, variant):
+        result = top_k_weight_solve(figure1, 2, variant)
+        assert result.retained == ["A", "B"]  # 0.33 and 0.22 (tie: B first)
+
+    def test_figure1_example_value(self, figure1):
+        # Example 1.1: top sellers {A, B} cover about 77%.
+        result = top_k_weight_solve(figure1, 2, "normalized")
+        assert result.cover == pytest.approx(0.77)
+
+    def test_order_is_descending(self, medium_graph, variant):
+        csr = as_csr(medium_graph)
+        order = top_k_weight_order(csr)
+        weights = csr.node_weight[order]
+        assert np.all(np.diff(weights) <= 1e-15)
+
+    def test_k_out_of_range(self, figure1):
+        with pytest.raises(SolverError):
+            top_k_weight_solve(figure1, 99, "independent")
+
+
+class TestTopKCoverage:
+    def test_ranks_by_singleton_gain(self, figure1, variant):
+        result = top_k_coverage_solve(figure1, 1, variant)
+        # B alone covers 0.66 - the largest singleton cover.
+        assert result.retained == ["B"]
+
+    def test_ignores_overlap_unlike_greedy(self, variant):
+        # Construct two near-duplicate covers: u1 and u2 both cover the
+        # heavy item v completely; TopK-C picks both, greedy diversifies.
+        from repro.core.graph import PreferenceGraph
+
+        g = PreferenceGraph.from_weights(
+            {"v": 0.6, "u1": 0.05, "u2": 0.05, "w": 0.3},
+            edges=[("v", "u1", 1.0 if variant == "normalized" else 0.99)]
+            + ([("v", "u2", 0.99)] if variant == "independent" else []),
+        )
+        if variant == "independent":
+            topc = top_k_coverage_solve(g, 2, variant)
+            greedy = greedy_solve(g, 2, variant)
+            assert set(topc.retained) == {"u1", "u2"}
+            assert "w" in greedy.retained
+            assert greedy.cover > topc.cover
+
+    def test_coverage_order_consistent_with_gains(self, medium_graph, variant):
+        order = top_k_coverage_order(medium_graph, variant)
+        from repro.core.gain import GreedyState
+
+        state = GreedyState(as_csr(medium_graph), variant)
+        gains = state.gains_all()
+        assert np.all(np.diff(gains[order]) <= 1e-12)
+
+
+class TestRandom:
+    def test_respects_k(self, medium_graph, variant):
+        result = random_solve(medium_graph, 25, variant, seed=0)
+        assert len(result.retained) == 25
+        assert len(set(result.retained)) == 25
+
+    def test_seed_reproducible(self, medium_graph, variant):
+        a = random_solve(medium_graph, 25, variant, seed=5)
+        b = random_solve(medium_graph, 25, variant, seed=5)
+        assert a.retained == b.retained
+
+    def test_best_of_draws_improves(self, medium_graph, variant):
+        single = random_solve(medium_graph, 20, variant, seed=9, draws=1)
+        best10 = random_solve(medium_graph, 20, variant, seed=9, draws=10)
+        assert best10.cover >= single.cover - 1e-12
+
+    def test_draws_validation(self, figure1):
+        with pytest.raises(SolverError, match="draws"):
+            random_solve(figure1, 2, "independent", draws=0)
+
+    def test_greedy_dominates_random(self, medium_graph, variant):
+        greedy = greedy_solve(medium_graph, 30, variant)
+        rand = random_solve(medium_graph, 30, variant, seed=1, draws=10)
+        assert greedy.cover >= rand.cover
+
+
+class TestThresholdAdapted:
+    @pytest.mark.parametrize("threshold", [0.3, 0.5, 0.7])
+    def test_prefix_is_smallest(self, medium_graph, variant, threshold):
+        result = top_k_weight_threshold(medium_graph, threshold, variant)
+        assert result.cover >= threshold - 1e-9
+        if result.k > 0:
+            order = top_k_weight_order(medium_graph)
+            shorter = cover(medium_graph, order[: result.k - 1], variant)
+            assert shorter < threshold
+
+    def test_greedy_needs_fewest_items(self, medium_graph, variant):
+        # The Figure 4f claim: the greedy threshold solver produces a
+        # (weakly) smaller retained set than either adapted baseline.
+        from repro.core.threshold import greedy_threshold_solve
+
+        greedy = greedy_threshold_solve(medium_graph, 0.6, variant)
+        w = top_k_weight_threshold(medium_graph, 0.6, variant)
+        c = top_k_coverage_threshold(medium_graph, 0.6, variant)
+        assert greedy.k <= w.k
+        assert greedy.k <= c.k
+
+    def test_threshold_validation(self, figure1):
+        with pytest.raises(SolverError, match="threshold"):
+            top_k_weight_threshold(figure1, 1.5, "independent")
+
+    def test_zero_threshold_empty_set(self, medium_graph, variant):
+        result = top_k_weight_threshold(medium_graph, 0.0, variant)
+        assert result.k == 0

@@ -1,0 +1,79 @@
+"""Tests for the Table 1 approximation-ratio formulas."""
+
+import math
+
+import pytest
+
+from repro.errors import SolverError
+from repro.reductions.bounds import (
+    GREEDY_CROSSOVER,
+    ONE_MINUS_INV_E,
+    best_known_ratio,
+    greedy_ratio_bound,
+    table1_rows,
+)
+
+
+class TestGreedyBound:
+    def test_small_k_is_one_minus_inv_e(self):
+        assert greedy_ratio_bound(1, 100) == pytest.approx(ONE_MINUS_INV_E)
+        assert greedy_ratio_bound(30, 100) == pytest.approx(ONE_MINUS_INV_E)
+
+    def test_large_k_is_quadratic(self):
+        assert greedy_ratio_bound(80, 100) == pytest.approx(1 - 0.2**2)
+        assert greedy_ratio_bound(100, 100) == pytest.approx(1.0)
+
+    def test_crossover_point(self):
+        # Below the crossover the constant wins, above it the quadratic.
+        n = 10_000
+        below = int((GREEDY_CROSSOVER - 0.01) * n)
+        above = int((GREEDY_CROSSOVER + 0.01) * n)
+        assert greedy_ratio_bound(below, n) == pytest.approx(ONE_MINUS_INV_E)
+        assert greedy_ratio_bound(above, n) > ONE_MINUS_INV_E
+
+    def test_crossover_solves_equation(self):
+        assert (1 - GREEDY_CROSSOVER) ** 2 == pytest.approx(1 / math.e)
+
+    def test_monotone_in_k(self):
+        n = 50
+        bounds = [greedy_ratio_bound(k, n) for k in range(n + 1)]
+        assert bounds == sorted(bounds)
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            greedy_ratio_bound(5, 0)
+        with pytest.raises(SolverError):
+            greedy_ratio_bound(-1, 10)
+        with pytest.raises(SolverError):
+            greedy_ratio_bound(11, 10)
+
+
+class TestBestKnown:
+    def test_sdp_regime(self):
+        ratio, method = best_known_ratio(10, 100)
+        assert ratio == pytest.approx(0.92)
+        assert "SDP" in method
+
+    def test_mid_regime(self):
+        ratio, method = best_known_ratio(73, 100)
+        assert ratio == pytest.approx(0.93)
+        assert "SDP" in method
+
+    def test_greedy_regime(self):
+        ratio, method = best_known_ratio(90, 100)
+        assert ratio == pytest.approx(greedy_ratio_bound(90, 100))
+        assert "greedy" in method
+
+    def test_best_known_never_below_greedy(self):
+        for k in range(0, 101, 5):
+            best, _ = best_known_ratio(k, 100)
+            assert best >= greedy_ratio_bound(k, 100) - 1e-12
+
+
+class TestTable1:
+    def test_five_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 5
+        assert rows[0].k_over_n == "o(1)"
+        assert "SDP" in rows[0].method
+        assert "greedy" in rows[-1].method

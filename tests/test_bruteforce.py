@@ -1,0 +1,66 @@
+"""Tests for the exact brute-force solver."""
+
+import itertools
+
+import pytest
+
+from repro.core.bruteforce import brute_force_solve
+from repro.core.cover import cover
+from repro.errors import SolverError
+from repro.workloads.graphs import small_dense_graph
+
+
+class TestOptimality:
+    def test_figure1_optimum(self, figure1, variant):
+        result = brute_force_solve(figure1, 2, variant)
+        assert sorted(result.retained) == ["B", "D"]
+        assert result.cover == pytest.approx(0.873)
+
+    def test_beats_or_ties_every_subset(self, variant):
+        graph = small_dense_graph(8, variant=variant, seed=5)
+        result = brute_force_solve(graph, 3, variant)
+        for subset in itertools.combinations(range(8), 3):
+            assert result.cover >= cover(graph, subset, variant) - 1e-12
+
+    def test_k_zero(self, figure1):
+        result = brute_force_solve(figure1, 0, "independent")
+        assert result.retained == []
+        assert result.cover == 0.0
+
+    def test_k_equals_n(self, figure1, variant):
+        result = brute_force_solve(figure1, 5, variant)
+        assert result.cover == pytest.approx(1.0)
+
+    def test_deterministic_tie_break(self):
+        # Two symmetric items: the lexicographically first subset wins.
+        from repro.core.graph import PreferenceGraph
+
+        g = PreferenceGraph.from_weights({"A": 0.5, "B": 0.5})
+        result = brute_force_solve(g, 1, "independent")
+        assert result.retained == ["A"]
+
+
+class TestLimits:
+    def test_subset_safety_valve(self):
+        graph = small_dense_graph(40, seed=0)
+        with pytest.raises(SolverError, match="max_subsets"):
+            brute_force_solve(graph, 20, "independent",
+                              max_subsets=1_000_000)
+
+    def test_valve_can_be_raised(self, figure1):
+        result = brute_force_solve(figure1, 2, "independent", max_subsets=None)
+        assert result.cover == pytest.approx(0.873)
+
+    def test_k_out_of_range(self, figure1):
+        with pytest.raises(SolverError, match="out of range"):
+            brute_force_solve(figure1, 9, "independent")
+
+    def test_counts_subsets_evaluated(self, figure1):
+        result = brute_force_solve(figure1, 2, "independent")
+        assert result.gain_evaluations == 10  # C(5, 2)
+
+    def test_no_prefix_covers(self, figure1):
+        result = brute_force_solve(figure1, 2, "independent")
+        assert result.prefix_covers is None
+        with pytest.raises(SolverError, match="prefix"):
+            result.cover_at(1)

@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def stream_file(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    code = main([
+        "generate", "--dataset", "YC", "--scale", "0.002",
+        "--seed", "1", "-o", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_custom_model(self, tmp_path, capsys):
+        path = tmp_path / "custom.jsonl"
+        code = main([
+            "generate", "--items", "50", "--sessions", "500",
+            "--behavior", "normalized", "--seed", "2", "-o", str(path),
+        ])
+        assert code == 0
+        assert path.exists()
+        assert "500 sessions" in capsys.readouterr().out
+
+    def test_yoochoose_output(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        prefix = str(tmp_path / "yc")
+        code = main([
+            "generate", "--items", "30", "--sessions", "200",
+            "--seed", "3", "-o", str(path),
+            "--yoochoose-prefix", prefix,
+        ])
+        assert code == 0
+        assert (tmp_path / "yc-clicks.dat").exists()
+        assert (tmp_path / "yc-buys.dat").exists()
+
+
+class TestBuildGraphAndSolve:
+    def test_build_then_solve_k(self, stream_file, tmp_path, capsys):
+        graph_path = tmp_path / "graph.json"
+        assert main([
+            "build-graph", str(stream_file), "--variant", "independent",
+            "-o", str(graph_path),
+        ]) == 0
+        out_path = tmp_path / "result.json"
+        assert main([
+            "solve", str(graph_path), "--variant", "independent",
+            "-k", "10", "-o", str(out_path),
+        ]) == 0
+        captured = capsys.readouterr().out
+        assert "cover C(S)" in captured
+        payload = json.loads(out_path.read_text())
+        assert payload["k"] == 10
+        assert len(payload["retained"]) == 10
+
+    def test_solve_threshold(self, stream_file, tmp_path, capsys):
+        graph_path = tmp_path / "graph.json"
+        main(["build-graph", str(stream_file), "--variant", "independent",
+              "-o", str(graph_path)])
+        assert main([
+            "solve", str(graph_path), "--variant", "independent",
+            "--threshold", "0.5",
+        ]) == 0
+        assert "cover C(S)" in capsys.readouterr().out
+
+    def test_solve_requires_objective(self, stream_file, tmp_path, capsys):
+        graph_path = tmp_path / "graph.json"
+        main(["build-graph", str(stream_file), "--variant", "independent",
+              "-o", str(graph_path)])
+        code = main(["solve", str(graph_path), "--variant", "independent"])
+        assert code == 2
+
+    def test_auto_variant_message(self, stream_file, tmp_path, capsys):
+        graph_path = tmp_path / "graph.json"
+        main(["build-graph", str(stream_file), "-o", str(graph_path)])
+        assert "variant selected from data" in capsys.readouterr().out
+
+
+class TestPipelineCommand:
+    def test_end_to_end(self, stream_file, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        code = main([
+            "pipeline", str(stream_file), "-k", "10",
+            "-o", str(out_path), "--show", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "achieved cover" in out
+        assert "top retained items" in out
+        assert json.loads(out_path.read_text())["k"] == 10
+
+    def test_threshold_mode(self, stream_file, capsys):
+        code = main([
+            "pipeline", str(stream_file), "--threshold", "0.6",
+            "--variant", "independent",
+        ])
+        assert code == 0
+
+
+class TestStats:
+    def test_dataset_registry(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        for name in ("PE", "PF", "PM", "YC"):
+            assert name in out
+
+    def test_clickstream_stats(self, stream_file, capsys):
+        assert main(["stats", "--clickstream", str(stream_file)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sessions"] > 0
+        assert "recommended_variant" in payload
+
+
+class TestErrors:
+    def test_repro_errors_become_exit_code_one(self, tmp_path, capsys):
+        # A clickstream with no purchases cannot be adapted.
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text('{"session_id": "s", "clicks": ["x"]}\n')
+        code = main(["pipeline", str(empty), "-k", "5"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,91 @@
+"""Tests for the CLI audit command and solver constraint flags."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.examples_data import figure1_graph
+from repro.graphio import write_graph_json
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "fig1.json"
+    write_graph_json(figure1_graph(), path)
+    return path
+
+
+class TestSolveConstraints:
+    def test_exclude_flag(self, graph_file, capsys):
+        assert main([
+            "solve", str(graph_file), "--variant", "normalized",
+            "-k", "2", "--exclude", "B",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "B" not in [
+            line.split(". ")[-1] for line in out.splitlines() if ". " in line
+        ]
+
+    def test_must_retain_flag(self, graph_file, capsys):
+        assert main([
+            "solve", str(graph_file), "--variant", "normalized",
+            "-k", "2", "--must-retain", "E",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1. E" in out
+
+
+class TestAuditCommand:
+    def test_audit_with_items(self, graph_file, capsys):
+        assert main([
+            "audit", str(graph_file), "--variant", "normalized",
+            "--items", "B", "D",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cover 0.8730" in out
+        assert "largest demand losses" in out
+        assert "load-bearing retained items" in out
+
+    def test_audit_with_result_file(self, graph_file, tmp_path, capsys):
+        result_path = tmp_path / "result.json"
+        assert main([
+            "solve", str(graph_file), "--variant", "normalized",
+            "-k", "2", "-o", str(result_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "audit", str(graph_file), "--variant", "normalized",
+            "--result", str(result_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cover 0.8730" in out
+
+    def test_audit_requires_input(self, graph_file, capsys):
+        code = main([
+            "audit", str(graph_file), "--variant", "normalized",
+        ])
+        assert code == 2
+        assert "provide" in capsys.readouterr().err
+
+
+class TestPipelineConstraints:
+    def test_reducer_passthrough(self):
+        from repro.clickstream import sessions_from_dicts
+        from repro.examples_data import figure3_sessions
+        from repro.pipeline import InventoryReducer
+
+        stream = sessions_from_dicts(figure3_sessions())
+        reducer = InventoryReducer(
+            k=1, variant="normalized",
+            exclude=["iphone8-256-silver"],
+        )
+        report = reducer.run(stream)
+        assert "iphone8-256-silver" not in report.retained
+
+    def test_constraints_rejected_with_threshold(self):
+        from repro.errors import SolverError
+        from repro.pipeline import InventoryReducer
+
+        with pytest.raises(SolverError, match="fixed-k"):
+            InventoryReducer(threshold=0.5, exclude=["x"])

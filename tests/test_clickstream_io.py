@@ -1,0 +1,110 @@
+"""Tests for clickstream serialization (JSONL and YooChoose CSV)."""
+
+import pytest
+
+from repro.clickstream.io import (
+    read_jsonl,
+    read_yoochoose,
+    write_jsonl,
+    write_yoochoose,
+)
+from repro.clickstream.models import Clickstream, Session
+from repro.errors import ClickstreamFormatError
+
+
+@pytest.fixture
+def stream() -> Clickstream:
+    return Clickstream(
+        [
+            Session("s1", ("a", "b"), purchase="c"),
+            Session("s2", ("a",)),
+            Session("s3", (), purchase="a"),
+        ]
+    )
+
+
+class TestJsonl:
+    def test_roundtrip(self, stream, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        write_jsonl(stream, path)
+        loaded = read_jsonl(path)
+        assert loaded.n_sessions == 3
+        assert loaded[0].clicks == ("a", "b")
+        assert loaded[0].purchase == "c"
+        assert loaded[1].purchase is None
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text(
+            '{"session_id": "s1", "clicks": ["a"]}\n\n'
+            '{"session_id": "s2", "clicks": []}\n'
+        )
+        assert read_jsonl(path).n_sessions == 2
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"session_id": "s1", "clicks": []}\nnot json\n')
+        with pytest.raises(ClickstreamFormatError, match=":2"):
+            read_jsonl(path)
+
+    def test_missing_fields_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"clicks": []}\n')
+        with pytest.raises(ClickstreamFormatError, match="session_id"):
+            read_jsonl(path)
+
+
+class TestYoochoose:
+    def test_roundtrip(self, stream, tmp_path):
+        clicks = tmp_path / "clicks.dat"
+        buys = tmp_path / "buys.dat"
+        write_yoochoose(stream, clicks, buys)
+        loaded = read_yoochoose(clicks, buys)
+        by_id = {s.session_id: s for s in loaded}
+        # Session ids become strings in CSV.
+        assert by_id["s1"].clicks == ("a", "b")
+        assert by_id["s1"].purchase == "c"
+        assert by_id["s2"].purchase is None
+        assert by_id["s3"].purchase == "a"  # purchase without click rows
+
+    def test_yoochoose_native_format(self, tmp_path):
+        # The real dataset's column layout.
+        clicks = tmp_path / "yoochoose-clicks.dat"
+        buys = tmp_path / "yoochoose-buys.dat"
+        clicks.write_text(
+            "1,2014-04-07T10:51:09.277Z,214536502,0\n"
+            "1,2014-04-07T10:54:09.868Z,214536500,0\n"
+            "2,2014-04-07T13:56:37.614Z,214662742,0\n"
+        )
+        buys.write_text(
+            "1,2014-04-07T10:55:00.000Z,214536500,12462,1\n"
+        )
+        loaded = read_yoochoose(clicks, buys)
+        assert loaded.n_sessions == 2
+        assert loaded.n_purchases == 1
+        first = [s for s in loaded if s.session_id == "1"][0]
+        assert first.purchase == "214536500"
+        assert first.alternatives() == ("214536502",)
+
+    def test_multiple_buys_keep_first(self, tmp_path):
+        clicks = tmp_path / "clicks.dat"
+        buys = tmp_path / "buys.dat"
+        clicks.write_text("1,t,100,0\n")
+        buys.write_text("1,t,100,0,1\n1,t,200,0,1\n")
+        loaded = read_yoochoose(clicks, buys)
+        assert loaded[0].purchase == "100"
+
+    def test_max_sessions_truncates(self, stream, tmp_path):
+        clicks = tmp_path / "clicks.dat"
+        buys = tmp_path / "buys.dat"
+        write_yoochoose(stream, clicks, buys)
+        loaded = read_yoochoose(clicks, buys, max_sessions=1)
+        assert loaded.n_sessions == 1
+
+    def test_short_rows_rejected(self, tmp_path):
+        clicks = tmp_path / "clicks.dat"
+        buys = tmp_path / "buys.dat"
+        clicks.write_text("1,t\n")
+        buys.write_text("")
+        with pytest.raises(ClickstreamFormatError, match="columns"):
+            read_yoochoose(clicks, buys)

@@ -1,0 +1,118 @@
+"""Tests for the clickstream data model."""
+
+import pytest
+
+from repro.clickstream.models import Clickstream, Session, sessions_from_dicts
+from repro.errors import ClickstreamFormatError
+
+
+class TestSession:
+    def test_alternatives_excludes_purchase(self):
+        session = Session("s1", clicks=("a", "b", "a", "p"), purchase="p")
+        assert session.alternatives() == ("a", "b")
+
+    def test_alternatives_deduplicates_in_order(self):
+        session = Session("s1", clicks=("b", "a", "b", "a"), purchase="p")
+        assert session.alternatives() == ("b", "a")
+
+    def test_browse_only(self):
+        session = Session("s1", clicks=("a",))
+        assert not session.has_purchase
+        assert session.alternatives() == ("a",)
+
+    def test_clicks_coerced_to_tuple(self):
+        session = Session("s1", clicks=["a", "b"], purchase=None)
+        assert session.clicks == ("a", "b")
+
+    def test_frozen(self):
+        session = Session("s1", clicks=("a",))
+        with pytest.raises(AttributeError):
+            session.purchase = "x"
+
+
+class TestClickstream:
+    def test_counts(self):
+        stream = Clickstream(
+            [
+                Session("s1", ("a",), purchase="a"),
+                Session("s2", ("b",)),
+                Session("s3", (), purchase="c"),
+            ]
+        )
+        assert stream.n_sessions == 3
+        assert stream.n_purchases == 2
+        assert len(stream) == 3
+
+    def test_duplicate_session_id_rejected(self):
+        with pytest.raises(ClickstreamFormatError, match="duplicate"):
+            Clickstream([Session("s", ()), Session("s", ())])
+
+    def test_purchasing_sessions_filter(self):
+        stream = Clickstream(
+            [Session("s1", (), purchase="a"), Session("s2", ("b",))]
+        )
+        filtered = stream.purchasing_sessions()
+        assert filtered.n_sessions == 1
+        assert filtered[0].session_id == "s1"
+
+    def test_items_first_seen_order(self):
+        stream = Clickstream(
+            [
+                Session("s1", ("x", "y"), purchase="z"),
+                Session("s2", ("y", "w"), purchase="x"),
+            ]
+        )
+        assert stream.items() == ["x", "y", "z", "w"]
+
+    def test_purchase_counts(self):
+        stream = Clickstream(
+            [
+                Session("s1", (), purchase="a"),
+                Session("s2", (), purchase="a"),
+                Session("s3", (), purchase="b"),
+            ]
+        )
+        assert stream.purchase_counts() == {"a": 2, "b": 1}
+
+    def test_stats(self):
+        stream = Clickstream([Session("s1", ("x",), purchase="y")])
+        assert stream.stats() == {"sessions": 1, "purchases": 1, "items": 2}
+
+    def test_extend(self):
+        a = Clickstream([Session("s1", ())])
+        b = Clickstream([Session("s2", ())])
+        combined = a.extend(b)
+        assert combined.n_sessions == 2
+        assert a.n_sessions == 1  # originals untouched
+
+    def test_iteration_and_indexing(self):
+        sessions = [Session("s1", ()), Session("s2", ())]
+        stream = Clickstream(sessions)
+        assert list(stream) == sessions
+        assert stream[1].session_id == "s2"
+
+    def test_repr(self):
+        stream = Clickstream([Session("s1", (), purchase="a")])
+        assert "sessions=1" in repr(stream)
+
+
+class TestSessionsFromDicts:
+    def test_builds_sessions(self):
+        stream = sessions_from_dicts(
+            [{"clicks": ["a"], "purchase": "b"}, {"clicks": []}]
+        )
+        assert stream.n_sessions == 2
+        assert stream[0].purchase == "b"
+        assert stream[1].purchase is None
+
+    def test_auto_numbered_ids(self):
+        stream = sessions_from_dicts([{"clicks": []}, {"clicks": []}])
+        assert [s.session_id for s in stream] == [0, 1]
+
+    def test_explicit_ids_kept(self):
+        stream = sessions_from_dicts([{"session_id": "x", "clicks": []}])
+        assert stream[0].session_id == "x"
+
+    def test_missing_clicks_rejected(self):
+        with pytest.raises(ClickstreamFormatError, match="clicks"):
+            sessions_from_dicts([{"purchase": "a"}])

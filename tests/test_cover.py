@@ -1,0 +1,136 @@
+"""Tests for the exact cover function (Definitions 2.1 and 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cover import cover, coverage_vector, item_coverage, resolve_indices
+from repro.core.csr import CSRGraph, as_csr
+from repro.core.graph import PreferenceGraph
+from repro.errors import UnknownItemError
+
+
+class TestBasicProperties:
+    def test_empty_set_covers_nothing(self, figure1, variant):
+        assert cover(figure1, [], variant) == 0.0
+
+    def test_full_set_covers_everything(self, figure1, variant):
+        items = list(figure1.items())
+        assert cover(figure1, items, variant) == pytest.approx(1.0)
+
+    def test_retained_mass_is_lower_bound(self, medium_graph, variant):
+        csr = as_csr(medium_graph)
+        retained = list(range(0, 50))
+        got = cover(csr, retained, variant)
+        assert got >= float(csr.node_weight[retained].sum()) - 1e-12
+
+    def test_monotone_in_set(self, small_graph, variant):
+        small = cover(small_graph, [0, 1], variant)
+        bigger = cover(small_graph, [0, 1, 2, 3], variant)
+        assert bigger >= small - 1e-12
+
+    def test_cover_bounded_by_one(self, medium_graph, variant):
+        got = cover(medium_graph, range(100), variant)
+        assert 0.0 <= got <= 1.0 + 1e-12
+
+
+class TestSemantics:
+    def test_independent_noisy_or(self):
+        g = PreferenceGraph.from_weights(
+            {"v": 0.5, "a": 0.25, "b": 0.25},
+            edges=[("v", "a", 0.5), ("v", "b", 0.5)],
+        )
+        got = cover(g, ["a", "b"], "independent")
+        # a + b retained mass 0.5, v covered 1-(0.5*0.5)=0.75 -> 0.375
+        assert got == pytest.approx(0.5 + 0.5 * 0.75)
+
+    def test_normalized_sum(self):
+        g = PreferenceGraph.from_weights(
+            {"v": 0.5, "a": 0.25, "b": 0.25},
+            edges=[("v", "a", 0.5), ("v", "b", 0.5)],
+        )
+        got = cover(g, ["a", "b"], "normalized")
+        assert got == pytest.approx(0.5 + 0.5 * 1.0)
+
+    def test_variants_agree_with_single_retained_neighbor(self):
+        g = PreferenceGraph.from_weights(
+            {"v": 0.6, "a": 0.4},
+            edges=[("v", "a", 0.3)],
+        )
+        indep = cover(g, ["a"], "independent")
+        norm = cover(g, ["a"], "normalized")
+        assert indep == pytest.approx(norm) == pytest.approx(0.4 + 0.6 * 0.3)
+
+    def test_figure1_quoted_values(self, figure1):
+        # Values quoted in Example 1.1 of the paper.
+        assert cover(figure1, ["A", "B"], "normalized") == pytest.approx(0.77)
+        assert cover(figure1, ["B", "D"], "normalized") == pytest.approx(0.873)
+
+
+class TestCoverageVector:
+    def test_sums_to_cover(self, medium_graph, variant):
+        retained = list(range(40))
+        vec = coverage_vector(medium_graph, retained, variant)
+        assert vec.sum() == pytest.approx(cover(medium_graph, retained, variant))
+
+    def test_retained_fully_covered(self, small_graph, variant):
+        csr = as_csr(small_graph)
+        vec = coverage_vector(csr, [3, 5], variant)
+        assert vec[3] == pytest.approx(float(csr.node_weight[3]))
+        assert vec[5] == pytest.approx(float(csr.node_weight[5]))
+
+    def test_entries_bounded_by_node_weight(self, medium_graph, variant):
+        csr = as_csr(medium_graph)
+        vec = coverage_vector(csr, range(60), variant)
+        assert np.all(vec <= csr.node_weight + 1e-12)
+        assert np.all(vec >= 0)
+
+
+class TestItemCoverage:
+    def test_conditional_values(self, figure1):
+        csr = as_csr(figure1)
+        conditional = item_coverage(csr, ["B", "D"], "normalized")
+        by_item = {csr.items[i]: conditional[i] for i in range(5)}
+        # Figure 2 walkthrough: A 67%, C 100%, E 90%.
+        assert by_item["A"] == pytest.approx(2 / 3)
+        assert by_item["C"] == pytest.approx(1.0)
+        assert by_item["E"] == pytest.approx(0.9)
+        assert by_item["B"] == pytest.approx(1.0)
+        assert by_item["D"] == pytest.approx(1.0)
+
+    def test_zero_weight_items(self):
+        g = PreferenceGraph.from_weights(
+            {"a": 1.0, "zero": 0.0},
+            edges=[("zero", "a", 0.5)],
+        )
+        conditional = item_coverage(g, ["a"], "independent")
+        csr = as_csr(g)
+        assert conditional[csr.index_of("zero")] == 0.0
+        conditional_retained = item_coverage(g, ["a", "zero"], "independent")
+        assert conditional_retained[csr.index_of("zero")] == 1.0
+
+
+class TestResolveIndices:
+    def test_accepts_ids_and_indices(self, figure1):
+        csr = as_csr(figure1)
+        mixed = resolve_indices(csr, ["A", 1, "D"])
+        assert list(mixed) == [csr.index_of("A"), 1, csr.index_of("D")]
+
+    def test_deduplicates_preserving_order(self, figure1):
+        csr = as_csr(figure1)
+        indices = resolve_indices(csr, ["B", "B", "A"])
+        assert list(indices) == [csr.index_of("B"), csr.index_of("A")]
+
+    def test_unknown_item_raises(self, figure1):
+        csr = as_csr(figure1)
+        with pytest.raises(UnknownItemError):
+            resolve_indices(csr, ["nope"])
+
+    def test_integer_item_ids_resolve_as_indices_first(self):
+        csr = CSRGraph.from_arrays(
+            np.array([0.5, 0.5]), np.array([0]), np.array([1]),
+            np.array([0.4]), items=[10, 20],
+        )
+        # 0 and 1 are valid dense indices, so they resolve positionally.
+        assert list(resolve_indices(csr, [0, 1])) == [0, 1]
+        # 10 is out of dense range, so it falls back to the item table.
+        assert list(resolve_indices(csr, [10])) == [0]

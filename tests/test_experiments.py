@@ -1,0 +1,79 @@
+"""Tests for the repro.experiments series builders."""
+
+import pytest
+
+from repro.experiments import (
+    fig4a_rows,
+    fig4b_rows,
+    fig4c_rows,
+    fig4d_rows,
+    fig4e_rows,
+    fig4f_rows,
+    table1_measured_rows,
+    table2_rows,
+)
+
+
+class TestTable1:
+    def test_rows_and_invariants(self):
+        rows = table1_measured_rows(n=8, seeds=(0,))
+        assert len(rows) == 8
+        for row in rows:
+            assert row["greedy_measured"] >= row["greedy_bound"] - 1e-9
+            assert row["best_known"] >= row["greedy_bound"] - 1e-12
+        assert rows[-1]["greedy_measured"] == pytest.approx(1.0)
+
+
+class TestTable2:
+    def test_rows(self):
+        rows = table2_rows(scale=0.0005, seed=0)
+        assert [r["dataset"] for r in rows] == ["PE", "PF", "PM", "YC"]
+
+
+class TestFig4a:
+    def test_ratio_column(self):
+        rows = fig4a_rows(n_items=10, k_values=(2, 4))
+        assert len(rows) == 2
+        for row in rows:
+            assert 0.9 <= row["ratio"] <= 1.0 + 1e-12
+            assert row["greedy_cover"] <= row["optimal_cover"] + 1e-12
+
+
+class TestFig4b:
+    def test_runtime_columns(self):
+        rows = fig4b_rows(sizes=(8, 10))
+        assert rows[0]["subsets"] == 70  # C(8, 4)
+        assert all(row["bf_s"] > 0 for row in rows)
+
+
+class TestFig4c:
+    def test_prebuilt_graph_path(self, medium_graph):
+        # Any valid graph works under Independent semantics (the NPC
+        # out-sum restriction is the stricter one).
+        rows = fig4c_rows(medium_graph, fractions=(0.2, 0.6))
+        assert len(rows) == 2
+        for row in rows:
+            assert row["Greedy"] >= row["Random"] - 1e-9
+
+
+class TestFig4d:
+    def test_small_sweep(self):
+        rows = fig4d_rows(sizes=(2_000, 5_000))
+        assert [row["n"] for row in rows] == [2_000, 5_000]
+        assert all(row["accelerated_s"] >= 0 for row in rows)
+
+
+class TestFig4e:
+    def test_speedup_monotone(self):
+        rows = fig4e_rows(n_items=5_000, k=20, workers=(1, 2, 4))
+        speedups = [row["speedup"] for row in rows]
+        assert speedups == sorted(speedups)
+        assert speedups[0] == pytest.approx(1.0)
+
+
+class TestFig4f:
+    def test_threshold_sweep(self, medium_graph):
+        rows = fig4f_rows(medium_graph, thresholds=(0.4, 0.7))
+        assert rows[0]["Greedy_items"] <= rows[1]["Greedy_items"]
+        for row in rows:
+            assert row["Greedy_items"] <= row["TopK-W_items"]

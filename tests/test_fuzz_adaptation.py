@@ -1,0 +1,113 @@
+"""Fuzz tests: arbitrary session structures never break the adapters.
+
+Hypothesis generates unconstrained session shapes (any mix of clicks,
+repeated clicks, self-clicks, browse-only sessions) and asserts that the
+batch engine, the online engine and the variant selector either produce
+a *valid* preference graph or raise the documented
+:class:`~repro.errors.AdaptationError` — never anything else.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adaptation.engine import AdaptationConfig, DataAdaptationEngine
+from repro.adaptation.online import OnlineAdaptationEngine
+from repro.adaptation.variant_selection import recommend_variant
+from repro.clickstream.models import Clickstream, Session
+from repro.core.variants import Variant
+from repro.errors import AdaptationError
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ITEM_IDS = st.sampled_from([f"item{i}" for i in range(8)])
+
+
+@st.composite
+def sessions(draw):
+    clicks = draw(st.lists(ITEM_IDS, min_size=0, max_size=6))
+    purchase = draw(st.one_of(st.none(), ITEM_IDS))
+    return Session(
+        session_id=draw(st.uuids()).hex,
+        clicks=tuple(clicks),
+        purchase=purchase,
+    )
+
+
+@st.composite
+def clickstreams(draw):
+    return Clickstream(
+        draw(st.lists(sessions(), min_size=0, max_size=30))
+    )
+
+
+class TestFuzzBatchEngine:
+    @SETTINGS
+    @given(clickstreams(), st.sampled_from(list(Variant)))
+    def test_output_always_valid_or_documented_error(self, stream, variant):
+        engine = DataAdaptationEngine(AdaptationConfig(variant=variant))
+        try:
+            graph = engine.build_graph(stream)
+        except AdaptationError:
+            assert stream.n_purchases == 0
+            return
+        graph.validate(variant)
+
+    @SETTINGS
+    @given(clickstreams())
+    def test_node_weights_are_purchase_shares(self, stream):
+        try:
+            graph = DataAdaptationEngine().build_graph(stream)
+        except AdaptationError:
+            return
+        counts = stream.purchase_counts()
+        total = sum(counts.values())
+        for item in graph.items():
+            assert graph.node_weight(item) == pytest.approx(
+                counts[item] / total
+            )
+
+
+class TestFuzzOnlineEngine:
+    @SETTINGS
+    @given(clickstreams(), st.sampled_from(list(Variant)))
+    def test_online_equals_batch(self, stream, variant):
+        config = AdaptationConfig(variant=variant)
+        online = OnlineAdaptationEngine(config)
+        online.observe_all(stream)
+        batch_error = online_error = None
+        try:
+            batch = DataAdaptationEngine(config).build_graph(stream)
+        except AdaptationError as exc:
+            batch_error = exc
+        try:
+            snapshot = online.snapshot()
+        except AdaptationError as exc:
+            online_error = exc
+        assert (batch_error is None) == (online_error is None)
+        if batch_error is None:
+            assert set(snapshot.items()) == set(batch.items())
+            assert sorted(snapshot.edges()) == sorted(batch.edges())
+
+
+class TestFuzzVariantSelection:
+    @SETTINGS
+    @given(clickstreams())
+    def test_recommendation_never_crashes(self, stream):
+        try:
+            recommendation = recommend_variant(stream)
+        except AdaptationError:
+            assert stream.n_purchases == 0
+            return
+        assert recommendation.variant in (
+            Variant.INDEPENDENT, Variant.NORMALIZED
+        )
+        assert 0.0 <= recommendation.normalized_fit <= 1.0
+        if recommendation.independence_score is not None:
+            assert 0.0 <= recommendation.independence_score <= 1.0

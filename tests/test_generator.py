@@ -1,0 +1,125 @@
+"""Tests for the synthetic consumer model."""
+
+import numpy as np
+import pytest
+
+from repro.clickstream.generator import ConsumerModel, ShopperConfig
+from repro.errors import ClickstreamFormatError
+
+
+class TestShopperConfig:
+    def test_validation(self):
+        with pytest.raises(ClickstreamFormatError):
+            ShopperConfig(n_items=0)
+        with pytest.raises(ClickstreamFormatError):
+            ShopperConfig(n_items=10, behavior="chaotic")
+        with pytest.raises(ClickstreamFormatError):
+            ShopperConfig(n_items=10, cluster_size=0)
+        with pytest.raises(ClickstreamFormatError):
+            ShopperConfig(n_items=10, browse_only_rate=1.0)
+
+
+class TestGroundTruth:
+    def test_popularity_is_distribution(self, consumer_model_independent):
+        pop = consumer_model_independent.popularity
+        assert pop.sum() == pytest.approx(1.0)
+        assert np.all(pop > 0)
+
+    def test_true_graph_valid(self, consumer_model_independent):
+        graph = consumer_model_independent.true_graph()
+        graph.validate("independent")
+
+    def test_normalized_true_graph_valid_for_npc(
+        self, consumer_model_normalized
+    ):
+        graph = consumer_model_normalized.true_graph()
+        graph.validate("normalized")  # out-sums <= 1 by construction
+
+    def test_alternatives_stay_in_cluster(self):
+        config = ShopperConfig(n_items=40, cluster_size=8)
+        model = ConsumerModel(config, seed=0)
+        for item in range(40):
+            cluster = item // 8
+            for alt in model.alternatives[item].tolist():
+                assert alt // 8 == cluster
+                assert alt != item
+
+    def test_singleton_cluster_has_no_alternatives(self):
+        config = ShopperConfig(n_items=9, cluster_size=8)
+        model = ConsumerModel(config, seed=0)
+        # item 8 forms a singleton trailing cluster.
+        assert model.alternatives[8].size == 0
+
+    def test_seed_determinism(self):
+        config = ShopperConfig(n_items=30)
+        a = ConsumerModel(config, seed=5)
+        b = ConsumerModel(config, seed=5)
+        np.testing.assert_array_equal(a.popularity, b.popularity)
+        for alt_a, alt_b in zip(a.alternatives, b.alternatives):
+            np.testing.assert_array_equal(alt_a, alt_b)
+
+
+class TestGeneration:
+    def test_session_count_and_ids(self, consumer_model_independent):
+        stream = consumer_model_independent.generate(100, seed=1)
+        assert stream.n_sessions == 100
+        assert stream[0].session_id == "s0"
+
+    def test_all_purchases_when_no_browse_only(
+        self, consumer_model_independent
+    ):
+        stream = consumer_model_independent.generate(200, seed=1)
+        assert stream.n_purchases == 200
+
+    def test_browse_only_rate_respected(self):
+        config = ShopperConfig(n_items=50, browse_only_rate=0.5)
+        model = ConsumerModel(config, seed=2)
+        stream = model.generate(2000, seed=3)
+        rate = 1 - stream.n_purchases / stream.n_sessions
+        assert rate == pytest.approx(0.5, abs=0.05)
+
+    def test_normalized_behavior_clicks_at_most_one_alternative(
+        self, consumer_model_normalized
+    ):
+        stream = consumer_model_normalized.generate(500, seed=4)
+        for session in stream:
+            if session.purchase is not None:
+                assert len(session.alternatives()) <= 1
+
+    def test_generation_reproducible(self, consumer_model_independent):
+        a = consumer_model_independent.generate(50, seed=9)
+        b = consumer_model_independent.generate(50, seed=9)
+        assert [s.clicks for s in a] == [s.clicks for s in b]
+        assert [s.purchase for s in a] == [s.purchase for s in b]
+
+    def test_popular_items_purchased_more(self):
+        config = ShopperConfig(n_items=50, zipf_exponent=1.3)
+        model = ConsumerModel(config, seed=6)
+        stream = model.generate(20_000, seed=7)
+        counts = stream.purchase_counts()
+        top_true = model.item_ids[int(np.argmax(model.popularity))]
+        # The empirically most purchased item is the truly most popular.
+        assert counts.most_common(1)[0][0] == top_true
+
+    def test_click_frequencies_match_acceptance(self):
+        # Empirical edge estimate converges to the ground truth.
+        config = ShopperConfig(
+            n_items=6, cluster_size=6, behavior="independent",
+            self_click_rate=0.0,
+        )
+        model = ConsumerModel(config, seed=8)
+        stream = model.generate(60_000, seed=9)
+        item = 0
+        sessions_for_item = [
+            s for s in stream if s.purchase == model.item_ids[item]
+        ]
+        assert len(sessions_for_item) > 500
+        for alt, prob in zip(
+            model.alternatives[item].tolist(),
+            model.acceptance[item].tolist(),
+        ):
+            alt_id = model.item_ids[alt]
+            observed = sum(
+                1 for s in sessions_for_item if alt_id in s.clicks
+            ) / len(sessions_for_item)
+            assert observed == pytest.approx(prob, abs=0.05)

@@ -1,0 +1,88 @@
+"""Tests for preference-graph serialization (JSON and NPZ)."""
+
+import numpy as np
+import pytest
+
+from repro.core.csr import as_csr
+from repro.core.greedy import greedy_solve
+from repro.errors import ClickstreamFormatError
+from repro.graphio import (
+    read_graph_json,
+    read_graph_npz,
+    write_graph_json,
+    write_graph_npz,
+)
+from repro.workloads.graphs import random_preference_graph
+
+
+class TestJson:
+    def test_roundtrip(self, figure1, tmp_path):
+        path = tmp_path / "graph.json"
+        write_graph_json(figure1, path)
+        loaded = read_graph_json(path)
+        assert set(loaded.items()) == set(figure1.items())
+        for item in figure1.items():
+            assert loaded.node_weight(item) == pytest.approx(
+                figure1.node_weight(item)
+            )
+        assert sorted(loaded.edges()) == sorted(figure1.edges())
+
+    def test_solver_agrees_after_roundtrip(self, figure1, tmp_path):
+        path = tmp_path / "graph.json"
+        write_graph_json(figure1, path)
+        loaded = read_graph_json(path)
+        assert greedy_solve(loaded, 2, "normalized").retained == ["B", "D"]
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ClickstreamFormatError, match="invalid JSON"):
+            read_graph_json(path)
+
+    def test_missing_keys(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"nodes": {}}')
+        with pytest.raises(ClickstreamFormatError, match="edges"):
+            read_graph_json(path)
+
+
+class TestNpz:
+    def test_roundtrip_csr(self, tmp_path):
+        graph = random_preference_graph(500, seed=9)
+        path = tmp_path / "graph.npz"
+        write_graph_npz(graph, path)
+        loaded = read_graph_npz(path)
+        assert loaded.n_items == graph.n_items
+        assert loaded.n_edges == graph.n_edges
+        np.testing.assert_allclose(loaded.node_weight, graph.node_weight)
+        # CSR grouping is canonical, so the arrays match directly.
+        np.testing.assert_array_equal(loaded.in_src, graph.in_src)
+        np.testing.assert_allclose(loaded.in_weight, graph.in_weight)
+
+    def test_roundtrip_from_preference_graph(self, figure1, tmp_path):
+        path = tmp_path / "fig1.npz"
+        write_graph_npz(figure1, path)
+        loaded = read_graph_npz(path)
+        # Item ids survive (as strings).
+        assert set(loaded.items) == {"A", "B", "C", "D", "E"}
+        result = greedy_solve(loaded, 2, "normalized")
+        assert result.retained == ["B", "D"]
+
+    def test_missing_arrays(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, node_weight=np.ones(2))
+        with pytest.raises(ClickstreamFormatError, match="missing arrays"):
+            read_graph_npz(path)
+
+    def test_solutions_identical_across_formats(self, tmp_path):
+        graph = random_preference_graph(300, variant="normalized", seed=10)
+        json_path = tmp_path / "g.json"
+        npz_path = tmp_path / "g.npz"
+        write_graph_json(graph.to_preference_graph(), json_path)
+        write_graph_npz(graph, npz_path)
+        from_json = greedy_solve(read_graph_json(json_path), 30, "normalized")
+        from_npz = greedy_solve(read_graph_npz(npz_path), 30, "normalized")
+        assert [str(i) for i in from_json.retained] == [
+            str(i) for i in from_npz.retained
+        ]
+        assert from_json.cover == pytest.approx(from_npz.cover, abs=1e-12)

@@ -1,0 +1,163 @@
+"""Cross-module integration tests: the full story, end to end.
+
+These tie the substrates together: consumer simulation -> clickstream ->
+Data Adaptation Engine -> preference graph -> solver -> Monte-Carlo /
+behavioral validation, plus convergence of the estimated graph to the
+generator's ground truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    InventoryReducer,
+    brute_force_solve,
+    cover,
+    greedy_solve,
+    top_k_weight_solve,
+)
+from repro.adaptation import build_preference_graph, recommend_variant
+from repro.clickstream.generator import ConsumerModel, ShopperConfig
+from repro.clickstream.io import read_jsonl, write_jsonl
+from repro.evaluation.replay import simulate_fulfillment
+from repro.workloads.datasets import build_dataset
+
+
+class TestAdaptationConvergence:
+    """The estimated preference graph converges to the ground truth."""
+
+    @pytest.mark.parametrize("behavior", ["independent", "normalized"])
+    def test_node_weights_converge(self, behavior):
+        model = ConsumerModel(
+            ShopperConfig(n_items=40, behavior=behavior), seed=1
+        )
+        stream = model.generate(40_000, seed=2)
+        graph = build_preference_graph(stream, behavior)
+        truth = model.true_graph()
+        for item in graph.items():
+            assert graph.node_weight(item) == pytest.approx(
+                truth.node_weight(item), abs=0.01
+            )
+
+    def test_independent_edge_weights_converge(self):
+        model = ConsumerModel(
+            ShopperConfig(
+                n_items=20, behavior="independent", cluster_size=5,
+                self_click_rate=0.0, zipf_exponent=0.5,
+            ),
+            seed=3,
+        )
+        stream = model.generate(60_000, seed=4)
+        graph = build_preference_graph(stream, "independent")
+        truth = model.true_graph()
+        checked = 0
+        for source, target, weight in truth.edges():
+            if graph.has_edge(source, target):
+                assert graph.edge_weight(source, target) == pytest.approx(
+                    weight, abs=0.08
+                )
+                checked += 1
+        assert checked > 10
+
+    def test_normalized_edge_weights_converge(self):
+        model = ConsumerModel(
+            ShopperConfig(
+                n_items=20, behavior="normalized", cluster_size=5,
+                self_click_rate=0.0, zipf_exponent=0.5,
+            ),
+            seed=5,
+        )
+        stream = model.generate(60_000, seed=6)
+        graph = build_preference_graph(stream, "normalized")
+        truth = model.true_graph()
+        checked = 0
+        for source, target, weight in truth.edges():
+            if graph.has_edge(source, target) and weight > 0.05:
+                assert graph.edge_weight(source, target) == pytest.approx(
+                    weight, abs=0.08
+                )
+                checked += 1
+        assert checked > 5
+
+
+class TestEndToEndQuality:
+    """Solving the *estimated* graph yields near-truth-level fulfillment."""
+
+    @pytest.mark.parametrize("behavior", ["independent", "normalized"])
+    def test_estimated_solution_performs_on_true_population(self, behavior):
+        model = ConsumerModel(
+            ShopperConfig(n_items=60, behavior=behavior), seed=7
+        )
+        stream = model.generate(30_000, seed=8)
+        reducer = InventoryReducer(k=15, variant=behavior)
+        report = reducer.run(stream)
+
+        realized = simulate_fulfillment(
+            model, report.retained, n_sessions=60_000, seed=9
+        )
+        # Oracle: greedy on the ground-truth graph.
+        truth_result = greedy_solve(model.true_graph(), 15, behavior)
+        oracle = simulate_fulfillment(
+            model, truth_result.retained, n_sessions=60_000, seed=9
+        )
+        assert realized.match_rate >= oracle.match_rate - 0.03
+
+    def test_greedy_beats_top_sellers_in_realized_sales(self):
+        model = ConsumerModel(
+            ShopperConfig(n_items=60, behavior="independent",
+                          zipf_exponent=0.8),
+            seed=10,
+        )
+        stream = model.generate(30_000, seed=11)
+        graph = build_preference_graph(stream, "independent")
+        greedy = greedy_solve(graph, 12, "independent")
+        naive = top_k_weight_solve(graph, 12, "independent")
+        greedy_sales = simulate_fulfillment(
+            model, greedy.retained, n_sessions=80_000, seed=12
+        )
+        naive_sales = simulate_fulfillment(
+            model, naive.retained, n_sessions=80_000, seed=12
+        )
+        assert greedy_sales.match_rate >= naive_sales.match_rate
+
+
+class TestFileRoundtripPipeline:
+    def test_jsonl_through_reducer(self, tmp_path):
+        stream, _model = build_dataset("PE", scale=0.0003, seed=0)
+        path = tmp_path / "pe.jsonl"
+        write_jsonl(stream, path)
+        loaded = read_jsonl(path)
+        report = InventoryReducer(k=30).run(loaded)
+        assert len(report.retained) == 30
+        direct = InventoryReducer(k=30).run(stream)
+        assert report.retained == direct.retained
+
+
+class TestVariantSelectionEndToEnd:
+    def test_pm_style_data_selects_normalized(self):
+        stream, _ = build_dataset("PM", scale=0.0005, seed=1)
+        rec = recommend_variant(stream)
+        assert rec.variant.value == "normalized"
+
+    def test_pe_style_data_selects_independent(self):
+        stream, _ = build_dataset("PE", scale=0.0005, seed=1)
+        rec = recommend_variant(stream)
+        assert rec.variant.value == "independent"
+
+
+class TestGreedyNearOptimalInPractice:
+    """The Figure 4a observation: greedy is near-optimal on real-ish data."""
+
+    @pytest.mark.parametrize("behavior", ["independent", "normalized"])
+    def test_ratio_above_098(self, behavior):
+        model = ConsumerModel(
+            ShopperConfig(n_items=12, behavior=behavior, cluster_size=4),
+            seed=13,
+        )
+        stream = model.generate(20_000, seed=14)
+        graph = build_preference_graph(stream, behavior)
+        n = graph.n_items
+        for k in (2, 4, n // 2):
+            greedy = greedy_solve(graph, k, behavior)
+            optimal = brute_force_solve(graph, k, behavior)
+            assert greedy.cover >= 0.98 * optimal.cover

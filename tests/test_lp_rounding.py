@@ -1,0 +1,114 @@
+"""Tests for the LP + pipage-rounding VC_k / NPC_k solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.bruteforce import brute_force_solve
+from repro.core.cover import cover
+from repro.errors import SolverError
+from repro.reductions.lp_rounding import (
+    LP_ROUNDING_FACTOR,
+    lp_round_solve,
+    lp_round_vc,
+    pipage_round,
+    smoothed_objective,
+    solve_vc_lp,
+)
+from repro.reductions.vertex_cover import (
+    MaxVertexCoverInstance,
+    npc_to_vc,
+    vc_cover_weight,
+)
+from repro.workloads.graphs import small_dense_graph
+
+
+def random_vc(n, m, seed) -> MaxVertexCoverInstance:
+    rng = np.random.default_rng(seed)
+    edges = tuple(
+        (int(u), int(v), float(w))
+        for u, v, w in zip(
+            rng.integers(0, n, m), rng.integers(0, n, m),
+            rng.uniform(0.1, 2.0, m),
+        )
+    )
+    return MaxVertexCoverInstance(n=n, edges=edges)
+
+
+class TestLpRelaxation:
+    def test_lp_upper_bounds_integral_optimum(self):
+        graph = small_dense_graph(9, variant="normalized", seed=1)
+        instance, _items = npc_to_vc(graph)
+        for k in (2, 4, 6):
+            _x, lp_value = solve_vc_lp(instance, k)
+            optimal = brute_force_solve(graph, k, "normalized").cover
+            assert lp_value >= optimal - 1e-9
+
+    def test_fractional_solution_feasible(self):
+        instance = random_vc(12, 30, seed=2)
+        x, _value = solve_vc_lp(instance, 5)
+        assert x.sum() == pytest.approx(5.0, abs=1e-6)
+        assert np.all(x >= -1e-9) and np.all(x <= 1 + 1e-9)
+
+    def test_empty_instance(self):
+        instance = MaxVertexCoverInstance(n=4, edges=())
+        x, value = solve_vc_lp(instance, 2)
+        assert value == 0.0
+
+    def test_k_validation(self):
+        instance = random_vc(5, 8, seed=3)
+        with pytest.raises(SolverError):
+            solve_vc_lp(instance, 9)
+
+
+class TestPipage:
+    def test_returns_integral_with_exactly_k(self):
+        instance = random_vc(14, 35, seed=4)
+        x, _value = solve_vc_lp(instance, 6)
+        rounded = pipage_round(instance, x, 6)
+        assert set(np.unique(rounded)).issubset({0.0, 1.0})
+        assert rounded.sum() == pytest.approx(6.0)
+
+    def test_never_decreases_smoothed_objective(self):
+        instance = random_vc(10, 25, seed=5)
+        x, _value = solve_vc_lp(instance, 4)
+        before = smoothed_objective(instance, x)
+        rounded = pipage_round(instance, x, 4)
+        after = smoothed_objective(instance, rounded)
+        assert after >= before - 1e-9
+
+    def test_integral_input_unchanged(self):
+        instance = random_vc(6, 10, seed=6)
+        x = np.array([1.0, 1.0, 0.0, 0.0, 0.0, 0.0])
+        rounded = pipage_round(instance, x, 2)
+        np.testing.assert_array_equal(rounded, x)
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("k", [2, 4, 7])
+    def test_three_quarters_of_lp_bound(self, seed, k):
+        instance = random_vc(10, 28, seed=seed)
+        selected, value, lp_bound = lp_round_vc(instance, k)
+        assert len(selected) == k
+        assert value >= LP_ROUNDING_FACTOR * lp_bound - 1e-9
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("k", [2, 4, 6])
+    def test_three_quarters_of_optimum_npc(self, seed, k):
+        graph = small_dense_graph(10, variant="normalized", seed=seed)
+        result = lp_round_solve(graph, k)
+        optimal = brute_force_solve(graph, k, "normalized").cover
+        assert result.cover >= LP_ROUNDING_FACTOR * optimal - 1e-9
+        assert result.cover == pytest.approx(
+            cover(graph, result.retained, "normalized"), abs=1e-9
+        )
+
+    def test_rejects_independent_variant(self, figure1):
+        with pytest.raises(SolverError, match="Normalized"):
+            lp_round_solve(figure1, 2, "independent")
+
+    def test_figure1(self, figure1):
+        result = lp_round_solve(figure1, 2)
+        # On Figure 1 the LP route also finds the optimal pair.
+        assert result.cover >= 0.75 * 0.873 - 1e-9
+        assert len(result.retained) == 2

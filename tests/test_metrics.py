@@ -1,0 +1,89 @@
+"""Tests for evaluation metrics and the ASCII table formatter."""
+
+import pytest
+
+from repro.core.greedy import greedy_solve
+from repro.errors import SolverError
+from repro.evaluation.metrics import (
+    approximation_ratio,
+    coverage_comparison,
+    format_table,
+    lift,
+)
+
+
+class TestApproximationRatio:
+    def test_basic(self):
+        assert approximation_ratio(0.8, 1.0) == pytest.approx(0.8)
+
+    def test_zero_optimum(self):
+        assert approximation_ratio(0.0, 0.0) == 1.0
+
+    def test_negative_optimum_rejected(self):
+        with pytest.raises(SolverError):
+            approximation_ratio(0.5, -1.0)
+
+
+class TestLift:
+    def test_basic(self):
+        assert lift(1.2, 1.0) == pytest.approx(0.2)
+
+    def test_zero_baseline(self):
+        assert lift(0.5, 0.0) == float("inf")
+        assert lift(0.0, 0.0) == 0.0
+
+    def test_negative_lift(self):
+        assert lift(0.5, 1.0) == pytest.approx(-0.5)
+
+
+class TestCoverageComparison:
+    def test_rows(self, figure1):
+        results = {
+            "greedy": greedy_solve(figure1, 2, "normalized"),
+            "bigger": greedy_solve(figure1, 3, "normalized"),
+        }
+        rows = coverage_comparison(results, reference="greedy")
+        assert len(rows) == 2
+        by_name = {r["algorithm"]: r for r in rows}
+        assert by_name["greedy"]["ratio_to_reference"] == pytest.approx(1.0)
+        assert by_name["bigger"]["ratio_to_reference"] >= 1.0
+
+    def test_missing_reference(self, figure1):
+        results = {"a": greedy_solve(figure1, 1, "normalized")}
+        with pytest.raises(SolverError, match="reference"):
+            coverage_comparison(results, reference="zzz")
+
+    def test_no_reference(self, figure1):
+        rows = coverage_comparison(
+            {"a": greedy_solve(figure1, 1, "normalized")}
+        )
+        assert "ratio_to_reference" not in rows[0]
+
+
+class TestFormatTable:
+    def test_renders_columns(self):
+        rows = [{"name": "x", "value": 0.123456}, {"name": "yy", "value": 2.0}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "0.1235" in text
+        assert "yy" in text
+
+    def test_title(self):
+        text = format_table([{"a": 1}], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+        assert format_table([], title="T").startswith("T")
+
+    def test_explicit_columns_and_missing_values(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = format_table(rows, columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_float_format_override(self):
+        text = format_table([{"x": 0.5}], float_format="{:.1f}")
+        assert "0.5" in text
+        assert "0.5000" not in text

@@ -1,0 +1,145 @@
+"""End-to-end checks of every number the paper quotes in its examples.
+
+Covers Example 1.1, Example 3.2, the Figure 2 walkthrough and the
+Figure 3 graph-construction example.
+"""
+
+import pytest
+
+from repro import (
+    brute_force_solve,
+    cover,
+    greedy_solve,
+    item_coverage,
+    top_k_weight_solve,
+)
+from repro.adaptation import build_preference_graph
+from repro.clickstream import sessions_from_dicts
+from repro.core.csr import as_csr
+from repro.examples_data import (
+    FIGURE1_OPTIMAL_COVER,
+    FIGURE1_OPTIMAL_PAIR,
+    FIGURE1_TOP2_COVER,
+    figure1_graph,
+    figure3_graph,
+    figure3_sessions,
+)
+
+
+class TestExample11:
+    """Example 1.1: naive top sellers vs the optimal pair."""
+
+    def test_a_is_best_seller(self):
+        graph = figure1_graph()
+        assert graph.node_weight("A") == pytest.approx(0.33)
+        assert max(graph.items(), key=graph.node_weight) == "A"
+
+    def test_d_is_least_sold(self):
+        graph = figure1_graph()
+        assert graph.node_weight("D") == pytest.approx(0.06)
+        assert min(graph.items(), key=graph.node_weight) == "D"
+
+    def test_top_sellers_cover_77_percent(self, variant):
+        graph = figure1_graph()
+        result = top_k_weight_solve(graph, 2, variant)
+        assert set(result.retained) == {"A", "B"}
+        assert result.cover == pytest.approx(FIGURE1_TOP2_COVER)
+
+    def test_optimal_pair_is_b_and_d(self, variant):
+        graph = figure1_graph()
+        result = brute_force_solve(graph, 2, variant)
+        assert tuple(sorted(result.retained)) == FIGURE1_OPTIMAL_PAIR
+        assert result.cover == pytest.approx(FIGURE1_OPTIMAL_COVER)
+
+    def test_weights_sum_to_one(self):
+        graph = figure1_graph()
+        graph.validate("normalized")
+        graph.validate("independent")
+
+
+class TestExample32:
+    """Example 3.2: the greedy's two iterations, gain by gain."""
+
+    def test_first_pick_is_b_with_gain_066(self, variant):
+        graph = figure1_graph()
+        result = greedy_solve(graph, 2, variant)
+        assert result.retained[0] == "B"
+        assert result.prefix_covers[1] == pytest.approx(0.66)
+
+    def test_second_pick_is_d_with_gain_0213(self, variant):
+        graph = figure1_graph()
+        result = greedy_solve(graph, 2, variant)
+        assert result.retained[1] == "D"
+        marginal = result.prefix_covers[2] - result.prefix_covers[1]
+        assert marginal == pytest.approx(0.213)
+
+    def test_marginal_gains_quoted_in_example(self):
+        # After retaining B: A's remaining gain is 11%, C's is 0%.
+        from repro.core.gain import GreedyState
+
+        graph = figure1_graph()
+        csr = as_csr(graph)
+        state = GreedyState(csr, "normalized")
+        state.add_node(csr.index_of("B"))
+        assert state.gain(csr.index_of("A")) == pytest.approx(0.11)
+        assert state.gain(csr.index_of("C")) == pytest.approx(0.0)
+        assert state.gain(csr.index_of("D")) == pytest.approx(0.213)
+
+    def test_greedy_matches_optimum_here(self, variant):
+        graph = figure1_graph()
+        greedy = greedy_solve(graph, 2, variant)
+        optimal = brute_force_solve(graph, 2, variant)
+        assert greedy.cover == pytest.approx(optimal.cover)
+
+
+class TestFigure2Walkthrough:
+    """The architecture figure's reported per-item coverage."""
+
+    def test_item_coverage_values(self, variant):
+        graph = figure1_graph()
+        csr = as_csr(graph)
+        conditional = item_coverage(csr, ["B", "D"], variant)
+        values = {csr.items[i]: conditional[i] for i in range(5)}
+        assert values["B"] == pytest.approx(1.0)
+        assert values["D"] == pytest.approx(1.0)
+        assert values["C"] == pytest.approx(1.0)     # fully covered by B
+        assert values["A"] == pytest.approx(2 / 3)   # 67%
+        assert values["E"] == pytest.approx(0.9)     # 90%
+
+
+class TestFigure3Construction:
+    """Figure 3: clickstream -> preference graph, exactly."""
+
+    def test_adaptation_reproduces_figure3_graph(self):
+        stream = sessions_from_dicts(figure3_sessions())
+        built = build_preference_graph(stream, "normalized")
+        expected = figure3_graph()
+        assert set(built.items()) == set(expected.items())
+        for item in expected.items():
+            assert built.node_weight(item) == pytest.approx(
+                expected.node_weight(item)
+            )
+        assert sorted(built.edges()) == sorted(expected.edges())
+
+    def test_normalized_fit_is_perfect(self):
+        # "No session implies more than one alternative."
+        from repro.adaptation import normalized_fit
+
+        stream = sessions_from_dicts(figure3_sessions())
+        assert normalized_fit(stream) == 1.0
+
+    def test_node_weights(self):
+        graph = figure3_graph()
+        graph.validate("normalized")
+        weights = sorted(
+            graph.node_weight(item) for item in graph.items()
+        )
+        assert weights == pytest.approx([0.2, 0.4, 0.4])
+
+    def test_independent_construction_identical_here(self):
+        # Every session has at most one alternative, so the 1/t
+        # normalization never fires and both engines agree.
+        stream = sessions_from_dicts(figure3_sessions())
+        norm = build_preference_graph(stream, "normalized")
+        indep = build_preference_graph(stream, "independent")
+        assert sorted(norm.edges()) == sorted(indep.edges())

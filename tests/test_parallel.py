@@ -1,0 +1,108 @@
+"""Tests for parallel gain evaluation and the work-span cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core.csr import as_csr
+from repro.core.gain import GreedyState
+from repro.core.greedy import greedy_solve
+from repro.core.parallel import (
+    ParallelCostModel,
+    ParallelGainEvaluator,
+    calibrate_cost_model,
+    speedup_curve,
+)
+from repro.errors import SolverError
+
+
+class TestParallelGainEvaluator:
+    def test_matches_serial_gains(self, medium_graph, variant):
+        csr = as_csr(medium_graph)
+        with ParallelGainEvaluator(csr, variant, n_workers=3) as pool:
+            state = GreedyState(csr, variant)
+            np.testing.assert_allclose(
+                pool.gains(state), state.gains_all(), atol=1e-12
+            )
+            # After committing nodes, replicas must stay in sync.
+            state.add_node(5)
+            state.add_node(99)
+            np.testing.assert_allclose(
+                pool.gains(state), state.gains_all(), atol=1e-12
+            )
+
+    def test_full_solve_same_solution(self, medium_graph, variant):
+        serial = greedy_solve(medium_graph, 20, variant, strategy="naive")
+        with ParallelGainEvaluator(medium_graph, variant, n_workers=2) as pool:
+            parallel = greedy_solve(
+                medium_graph, 20, variant, strategy="naive", parallel=pool
+            )
+        assert parallel.retained == serial.retained
+        assert parallel.cover == pytest.approx(serial.cover, abs=1e-12)
+
+    def test_single_worker_is_serial(self, small_graph, variant):
+        pool = ParallelGainEvaluator(small_graph, variant, n_workers=1)
+        with pool:
+            state = GreedyState(as_csr(small_graph), variant)
+            np.testing.assert_allclose(
+                pool.gains(state), state.gains_all()
+            )
+        assert pool._procs == []
+
+    def test_invalid_worker_count(self, small_graph):
+        with pytest.raises(SolverError, match="n_workers"):
+            ParallelGainEvaluator(small_graph, "independent", n_workers=0)
+
+    def test_edge_balanced_cuts_partition(self, medium_graph, variant):
+        pool = ParallelGainEvaluator(medium_graph, variant, n_workers=4)
+        cuts = pool._edge_balanced_cuts(as_csr(medium_graph).n_items, 4)
+        assert cuts[0][0] == 0
+        assert cuts[-1][1] == as_csr(medium_graph).n_items
+        for (_, hi), (lo, _) in zip(cuts, cuts[1:]):
+            assert hi == lo  # contiguous, non-overlapping
+
+    def test_close_is_idempotent(self, small_graph, variant):
+        pool = ParallelGainEvaluator(small_graph, variant, n_workers=2)
+        pool.start()
+        pool.close()
+        pool.close()
+
+
+class TestCostModel:
+    def test_calibration_counts_work(self, medium_graph, variant):
+        model = calibrate_cost_model(medium_graph, 10, variant)
+        assert len(model.iteration_work) == 10
+        csr = as_csr(medium_graph)
+        # Iteration i touches all edges + (n - i) live self terms.
+        expected0 = csr.n_edges + csr.n_items
+        assert model.iteration_work[0] == expected0
+        assert model.per_op_seconds > 0
+
+    def test_runtime_decreases_with_workers(self, medium_graph):
+        model = calibrate_cost_model(medium_graph, 10, "independent")
+        times = [model.runtime(n) for n in (1, 2, 4, 8)]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_speedup_saturates_with_sync_overhead(self):
+        work = np.full(100, 10_000.0)
+        model = ParallelCostModel(
+            iteration_work=work, per_op_seconds=1e-6, sync_seconds=1e-4
+        )
+        # Ideal would be 32x; sync overhead keeps it below.
+        assert model.speedup(32) < 32
+        assert model.speedup(32) > 10  # but still "almost perfect"
+
+    def test_speedup_curve_rows(self):
+        work = np.full(10, 1000.0)
+        model = ParallelCostModel(
+            iteration_work=work, per_op_seconds=1e-6, sync_seconds=0.0
+        )
+        rows = speedup_curve(model, workers=(1, 2, 4))
+        assert [r["workers"] for r in rows] == [1, 2, 4]
+        assert rows[2]["speedup"] == pytest.approx(4.0)
+
+    def test_invalid_worker_count(self):
+        model = ParallelCostModel(
+            iteration_work=np.ones(1), per_op_seconds=1.0, sync_seconds=0.0
+        )
+        with pytest.raises(SolverError):
+            model.runtime(0)

@@ -1,0 +1,103 @@
+"""Tests for candidate pruning."""
+
+import numpy as np
+import pytest
+
+from repro.core.csr import as_csr
+from repro.core.gain import GreedyState
+from repro.core.greedy import greedy_solve
+from repro.core.preprocess import (
+    PruningPlan,
+    candidate_ceilings,
+    prune_candidates,
+    pruned_greedy_solve,
+)
+from repro.errors import SolverError
+from repro.workloads.graphs import random_preference_graph
+
+
+class TestCeilings:
+    def test_equal_singleton_gains(self, medium_graph, variant):
+        ceilings = candidate_ceilings(medium_graph, variant)
+        state = GreedyState(as_csr(medium_graph), variant)
+        np.testing.assert_allclose(ceilings, state.gains_all())
+
+    def test_ceiling_bounds_any_marginal(self, small_graph, variant):
+        # Submodularity: the singleton gain upper-bounds every later
+        # marginal gain of the same item.
+        csr = as_csr(small_graph)
+        ceilings = candidate_ceilings(csr, variant)
+        state = GreedyState(csr, variant)
+        for node in (0, 3, 7):
+            state.add_node(node)
+        for v in range(csr.n_items):
+            if not state.in_set[v]:
+                assert state.gain(v) <= ceilings[v] + 1e-12
+
+
+class TestPrune:
+    def test_budget_respected(self, medium_graph, variant):
+        plan = prune_candidates(medium_graph, variant, epsilon=0.01)
+        assert plan.loss_bound <= 0.01 + 1e-12
+        assert plan.n_excluded > 0
+
+    def test_zero_epsilon_prunes_nothing_weighted(self, medium_graph, variant):
+        plan = prune_candidates(medium_graph, variant, epsilon=0.0)
+        # Only ceiling-zero items (none on these graphs) could be cut.
+        assert plan.loss_bound == 0.0
+
+    def test_drops_smallest_first(self, medium_graph, variant):
+        plan = prune_candidates(medium_graph, variant, epsilon=0.02)
+        if plan.n_excluded:
+            max_excluded = plan.ceilings[plan.excluded_indices].max()
+            survivors = np.setdiff1d(
+                np.arange(as_csr(medium_graph).n_items),
+                plan.excluded_indices,
+            )
+            assert max_excluded <= plan.ceilings[survivors].min() + 1e-12
+
+    def test_keep_at_least(self, figure1, variant):
+        plan = prune_candidates(
+            figure1, variant, epsilon=10.0, keep_at_least=2
+        )
+        assert plan.n_excluded == 3
+
+    def test_validation(self, figure1):
+        with pytest.raises(SolverError, match="epsilon"):
+            prune_candidates(figure1, "independent", epsilon=-1)
+        with pytest.raises(SolverError, match="keep_at_least"):
+            prune_candidates(
+                figure1, "independent", keep_at_least=99
+            )
+
+
+class TestPrunedSolve:
+    def test_cover_within_bound(self, variant):
+        graph = random_preference_graph(2000, seed=30, variant=variant)
+        k = 100
+        full = greedy_solve(graph, k, variant)
+        result, plan = pruned_greedy_solve(
+            graph, k, variant, epsilon=0.02
+        )
+        assert plan.n_excluded > 100  # pruning actually bites
+        assert result.cover >= full.cover - plan.loss_bound - 1e-9
+
+    def test_large_epsilon_keeps_feasibility(self, figure1, variant):
+        result, plan = pruned_greedy_solve(
+            figure1, 3, variant, epsilon=10.0
+        )
+        assert len(result.retained) == 3
+
+    def test_excluded_items_not_retained(self, medium_graph, variant):
+        result, plan = pruned_greedy_solve(
+            medium_graph, 30, variant, epsilon=0.01
+        )
+        retained = set(result.retained_indices.tolist())
+        assert not retained & set(plan.excluded_indices.tolist())
+
+    def test_tiny_epsilon_matches_full_solve(self, medium_graph, variant):
+        full = greedy_solve(medium_graph, 20, variant)
+        result, plan = pruned_greedy_solve(
+            medium_graph, 20, variant, epsilon=1e-9
+        )
+        assert result.retained == full.retained

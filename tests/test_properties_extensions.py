@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) for the extension modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cover import cover
+from repro.core.greedy import greedy_solve
+from repro.extensions.capacity import budget_spent, capacity_greedy_solve
+from repro.extensions.quotas import category_counts, quota_greedy_solve
+from repro.extensions.revenue import expected_revenue, revenue_greedy_solve
+from repro.workloads.graphs import random_preference_graph
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def instances(draw):
+    """A random graph plus a variant and a budget k."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=5, max_value=60))
+    variant = draw(st.sampled_from(["independent", "normalized"]))
+    graph = random_preference_graph(n, variant=variant, seed=seed)
+    k = draw(st.integers(min_value=0, max_value=n))
+    return graph, variant, k
+
+
+class TestRevenueProperties:
+    @SETTINGS
+    @given(instances(), st.floats(min_value=0.1, max_value=100.0))
+    def test_uniform_scaling_preserves_selection(self, instance, scale):
+        graph, variant, k = instance
+        revenues = np.full(graph.n_items, scale)
+        scaled = revenue_greedy_solve(graph, k, variant, revenues)
+        plain = greedy_solve(graph, k, variant)
+        assert scaled.retained == plain.retained
+        assert scaled.cover == pytest.approx(plain.cover * scale, rel=1e-9)
+
+    @SETTINGS
+    @given(instances(), st.integers(min_value=0, max_value=10_000))
+    def test_revenue_objective_consistency(self, instance, rev_seed):
+        graph, variant, k = instance
+        revenues = np.random.default_rng(rev_seed).uniform(
+            0.5, 20.0, graph.n_items
+        )
+        result = revenue_greedy_solve(graph, k, variant, revenues)
+        assert result.cover == pytest.approx(
+            expected_revenue(graph, result.retained, variant, revenues),
+            abs=1e-9,
+        )
+
+    @SETTINGS
+    @given(instances(), st.integers(min_value=0, max_value=10_000))
+    def test_optimizing_revenue_never_loses_revenue(self, instance, rev_seed):
+        graph, variant, k = instance
+        revenues = np.random.default_rng(rev_seed).uniform(
+            0.5, 20.0, graph.n_items
+        )
+        aware = revenue_greedy_solve(graph, k, variant, revenues)
+        blind = greedy_solve(graph, k, variant)
+        blind_revenue = expected_revenue(
+            graph, blind.retained, variant, revenues
+        )
+        # Not a theorem for greedy in general, but holding empirically
+        # within a generous slack: both greedy runs approximate their
+        # own objectives, and the aware one targets revenue directly.
+        assert aware.cover >= blind_revenue * 0.8 - 1e-9
+
+
+class TestCapacityProperties:
+    @SETTINGS
+    @given(
+        instances(),
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=0.0, max_value=30.0),
+    )
+    def test_budget_always_respected(self, instance, cost_seed, budget):
+        graph, variant, _k = instance
+        costs = np.random.default_rng(cost_seed).uniform(
+            0.2, 3.0, graph.n_items
+        )
+        result = capacity_greedy_solve(graph, budget, variant, costs)
+        assert budget_spent(graph, result.retained, costs) <= budget + 1e-9
+
+    @SETTINGS
+    @given(instances(), st.integers(min_value=0, max_value=10_000))
+    def test_more_budget_never_hurts(self, instance, cost_seed):
+        graph, variant, _k = instance
+        costs = np.random.default_rng(cost_seed).uniform(
+            0.2, 3.0, graph.n_items
+        )
+        small = capacity_greedy_solve(graph, 5.0, variant, costs)
+        large = capacity_greedy_solve(graph, 20.0, variant, costs)
+        assert large.cover >= small.cover - 1e-9
+
+
+class TestQuotaProperties:
+    @SETTINGS
+    @given(
+        instances(),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_quotas_never_violated(self, instance, n_categories, quota):
+        graph, variant, k = instance
+        categories = {
+            item: f"c{i % n_categories}"
+            for i, item in enumerate(graph.items)
+        }
+        quotas = {f"c{i}": quota for i in range(n_categories)}
+        result = quota_greedy_solve(
+            graph, variant, categories, quotas, k=k
+        )
+        counts = category_counts(result, categories)
+        for category, count in counts.items():
+            assert count <= quotas[category]
+        assert result.k <= k
+        assert result.cover == pytest.approx(
+            cover(graph, result.retained, variant), abs=1e-9
+        )
+
+    @SETTINGS
+    @given(instances())
+    def test_infinite_quotas_match_unconstrained(self, instance):
+        graph, variant, k = instance
+        categories = {item: "everything" for item in graph.items}
+        result = quota_greedy_solve(
+            graph, variant, categories, {"everything": graph.n_items}, k=k
+        )
+        free = greedy_solve(graph, k, variant)
+        assert result.cover == pytest.approx(free.cover, abs=1e-9)

@@ -1,0 +1,132 @@
+"""Tests for the category-quota (partition matroid) extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.cover import cover
+from repro.core.csr import as_csr
+from repro.core.greedy import greedy_solve
+from repro.errors import SolverError, UnknownItemError
+from repro.extensions.quotas import category_counts, quota_greedy_solve
+
+
+def make_categories(graph, n_categories=5):
+    csr = as_csr(graph)
+    return {
+        item: f"cat{i % n_categories}" for i, item in enumerate(csr.items)
+    }
+
+
+class TestQuotaGreedy:
+    def test_quotas_respected(self, medium_graph, variant):
+        categories = make_categories(medium_graph)
+        quotas = {f"cat{i}": 4 for i in range(5)}
+        result = quota_greedy_solve(
+            medium_graph, variant, categories, quotas
+        )
+        counts = category_counts(result, categories)
+        for category, count in counts.items():
+            assert count <= quotas[category]
+        assert result.k == 20  # all quotas exactly fill
+
+    def test_loose_quotas_match_unconstrained(self, medium_graph, variant):
+        categories = make_categories(medium_graph)
+        quotas = {f"cat{i}": 10_000 for i in range(5)}
+        constrained = quota_greedy_solve(
+            medium_graph, variant, categories, quotas, k=25
+        )
+        free = greedy_solve(medium_graph, 25, variant)
+        assert constrained.retained == free.retained
+        assert constrained.cover == pytest.approx(free.cover, abs=1e-9)
+
+    def test_cover_consistent(self, medium_graph, variant):
+        categories = make_categories(medium_graph)
+        quotas = {f"cat{i}": 3 for i in range(5)}
+        result = quota_greedy_solve(
+            medium_graph, variant, categories, quotas
+        )
+        assert result.cover == pytest.approx(
+            cover(medium_graph, result.retained, variant), abs=1e-9
+        )
+
+    def test_binding_quota_changes_selection(self, figure1, variant):
+        categories = {"A": "tv", "B": "tv", "C": "tv", "D": "audio",
+                      "E": "audio"}
+        # Only one TV allowed: greedy keeps B, then must take audio.
+        result = quota_greedy_solve(
+            figure1, variant, categories, {"tv": 1, "audio": 1}, k=2
+        )
+        assert result.retained[0] == "B"
+        assert categories[result.retained[1]] == "audio"
+        assert result.retained[1] == "D"
+
+    def test_unconstrained_category(self, figure1, variant):
+        categories = {"A": "tv", "B": "tv", "C": "tv", "D": "audio",
+                      "E": "audio"}
+        # TVs capped at 0, audio unconstrained.
+        result = quota_greedy_solve(
+            figure1, variant, categories, {"tv": 0}, k=2
+        )
+        assert all(categories[i] == "audio" for i in result.retained)
+
+    def test_default_k_from_quotas(self, figure1, variant):
+        categories = {item: "all" for item in figure1.items()}
+        result = quota_greedy_solve(
+            figure1, variant, categories, {"all": 3}
+        )
+        assert result.k == 3
+
+    def test_quota_zero_everywhere(self, figure1, variant):
+        categories = {item: "all" for item in figure1.items()}
+        result = quota_greedy_solve(
+            figure1, variant, categories, {"all": 0}
+        )
+        assert result.retained == []
+        assert result.cover == 0.0
+
+    def test_missing_category_rejected(self, figure1):
+        with pytest.raises(UnknownItemError):
+            quota_greedy_solve(
+                figure1, "normalized", {"A": "x"}, {"x": 1}
+            )
+
+    def test_negative_quota_rejected(self, figure1):
+        categories = {item: "all" for item in figure1.items()}
+        with pytest.raises(SolverError, match="quota"):
+            quota_greedy_solve(
+                figure1, "normalized", categories, {"all": -1}
+            )
+
+    def test_half_approximation_on_small_instances(self, variant):
+        # Matroid greedy >= 1/2 OPT; check against brute force over
+        # feasible subsets.
+        import itertools
+
+        from repro.workloads.graphs import small_dense_graph
+
+        graph = small_dense_graph(8, variant=variant, seed=3)
+        csr = as_csr(graph)
+        categories = {item: f"c{i % 2}" for i, item in enumerate(csr.items)}
+        quotas = {"c0": 2, "c1": 1}
+        result = quota_greedy_solve(graph, variant, categories, quotas)
+
+        best = 0.0
+        items = list(csr.items)
+        for subset in itertools.combinations(items, 3):
+            counts = {}
+            for item in subset:
+                counts[categories[item]] = counts.get(
+                    categories[item], 0
+                ) + 1
+            if all(counts.get(c, 0) <= q for c, q in quotas.items()):
+                best = max(best, cover(graph, subset, variant))
+        assert result.cover >= 0.5 * best - 1e-9
+
+    def test_category_counts_helper(self, figure1, variant):
+        categories = {"A": "x", "B": "x", "C": "y", "D": "y", "E": "y"}
+        result = quota_greedy_solve(
+            figure1, variant, categories, {"x": 1, "y": 1}, k=2
+        )
+        counts = category_counts(result, categories)
+        assert sum(counts.values()) == 2
+        assert all(v == 1 for v in counts.values())

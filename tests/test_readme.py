@@ -1,0 +1,67 @@
+"""Documentation integrity: the README's Python snippets must run.
+
+Extracts every fenced ``python`` block from README.md, stubs the file
+inputs they reference, executes them in one shared namespace, and checks
+the claimed outputs (the Figure 1 numbers) actually hold.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).parent.parent / "README.md"
+
+
+def python_blocks() -> list:
+    text = README.read_text(encoding="utf-8")
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+@pytest.fixture
+def sessions_file(tmp_path, monkeypatch):
+    """Provide the sessions.jsonl the README pipeline snippet reads."""
+    from repro.clickstream.generator import ConsumerModel, ShopperConfig
+    from repro.clickstream.io import write_jsonl
+
+    model = ConsumerModel(ShopperConfig(n_items=50), seed=0)
+    write_jsonl(model.generate(3_000, seed=1), tmp_path / "sessions.jsonl")
+    monkeypatch.chdir(tmp_path)
+
+
+class TestReadmeSnippets:
+    def test_blocks_exist(self):
+        assert len(python_blocks()) >= 3
+
+    def test_all_blocks_execute(self, sessions_file, capsys):
+        namespace: dict = {}
+        for block in python_blocks():
+            # The YooChoose block needs the real dataset; skip the two
+            # lines that read it but keep the import under test.
+            runnable = "\n".join(
+                line for line in block.splitlines()
+                # Skip actual read_yoochoose calls (the real dataset is
+                # not bundled); mentions in comments are fine.
+                if "read_yoochoose(" not in line.split("#")[0]
+            )
+            exec(compile(runnable, "<README>", "exec"), namespace)
+        out = capsys.readouterr().out
+        # The quickstart's claimed outputs:
+        assert "0.77" in out
+        assert "0.873" in out
+        assert "'B'" in out and "'D'" in out
+
+    def test_quickstart_numbers_are_correct(self):
+        # Independently verify the claims, not just that they print.
+        from repro import PreferenceGraph, greedy_solve, top_k_weight_solve
+
+        graph = PreferenceGraph.from_weights(
+            {"A": 0.33, "B": 0.22, "C": 0.22, "D": 0.06, "E": 0.17},
+            edges=[("A", "B", 2 / 3), ("B", "C", 1.0), ("C", "B", 1.0),
+                   ("E", "D", 0.9)],
+        )
+        naive = top_k_weight_solve(graph, 2, "normalized")
+        smart = greedy_solve(graph, 2, "normalized")
+        assert naive.cover == pytest.approx(0.77)
+        assert smart.retained == ["B", "D"]
+        assert smart.cover == pytest.approx(0.873)

@@ -1,0 +1,105 @@
+"""Tests for DS_k and its reduction to IPC_k (Theorem 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cover import cover
+from repro.core.greedy import greedy_solve
+from repro.errors import GraphValidationError, SolverError
+from repro.reductions.dominating_set import (
+    DirectedGraphInstance,
+    dominated_count,
+    ds_to_ipc,
+    greedy_dominating_set,
+)
+
+
+def random_instance(n, m, seed) -> DirectedGraphInstance:
+    rng = np.random.default_rng(seed)
+    edges = tuple(
+        (int(u), int(v))
+        for u, v in zip(rng.integers(0, n, m), rng.integers(0, n, m))
+    )
+    return DirectedGraphInstance(n=n, edges=edges)
+
+
+class TestDominatedCount:
+    def test_counts_set_and_out_neighbors(self):
+        g = DirectedGraphInstance(n=4, edges=((0, 1), (1, 2), (3, 0)))
+        assert dominated_count(g, [0]) == 2  # {0, 1}
+        assert dominated_count(g, [3]) == 2  # {3, 0}
+        assert dominated_count(g, [0, 1]) == 3  # {0, 1, 2}
+
+    def test_empty_set(self):
+        g = DirectedGraphInstance(n=3, edges=())
+        assert dominated_count(g, []) == 0
+
+    def test_edge_validation(self):
+        with pytest.raises(GraphValidationError):
+            DirectedGraphInstance(n=2, edges=((0, 7),))
+
+
+class TestGreedyDS:
+    def test_star_graph_picks_center(self):
+        g = DirectedGraphInstance(
+            n=5, edges=((0, 1), (0, 2), (0, 3), (0, 4))
+        )
+        selected, count = greedy_dominating_set(g, 1)
+        assert selected == [0]
+        assert count == 5
+
+    def test_full_selection_dominates_all(self):
+        g = random_instance(8, 15, seed=1)
+        _, count = greedy_dominating_set(g, 8)
+        assert count == 8
+
+    def test_monotone_in_k(self):
+        g = random_instance(12, 25, seed=2)
+        counts = [greedy_dominating_set(g, k)[1] for k in range(1, 6)]
+        assert counts == sorted(counts)
+
+    def test_k_validation(self):
+        g = random_instance(3, 3, seed=3)
+        with pytest.raises(SolverError):
+            greedy_dominating_set(g, 4)
+
+
+class TestReduction:
+    """dominated_count(G, S) == n * C(S) on the reduced IPC instance."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_objective_preserved(self, seed):
+        g = random_instance(14, 30, seed)
+        reduced = ds_to_ipc(g)
+        reduced.validate("independent")
+        rng = np.random.default_rng(seed + 50)
+        for _ in range(15):
+            size = int(rng.integers(0, 15))
+            subset = [int(x) for x in rng.choice(14, size=size, replace=False)]
+            assert dominated_count(g, subset) == pytest.approx(
+                14 * cover(reduced, subset, "independent"), abs=1e-9
+            )
+
+    def test_edges_reversed(self):
+        g = DirectedGraphInstance(n=2, edges=((0, 1),))
+        reduced = ds_to_ipc(g)
+        assert reduced.has_edge(1, 0)
+        assert not reduced.has_edge(0, 1)
+
+    def test_uniform_node_weights(self):
+        reduced = ds_to_ipc(random_instance(10, 20, seed=4))
+        for item in reduced.items():
+            assert reduced.node_weight(item) == pytest.approx(0.1)
+
+    def test_greedy_equivalence(self):
+        # Greedy on the reduced IPC instance dominates exactly as many
+        # vertices as greedy DS (both implement max marginal gain).
+        g = random_instance(12, 28, seed=5)
+        reduced = ds_to_ipc(g)
+        ds_selected, ds_count = greedy_dominating_set(g, 4)
+        ipc = greedy_solve(reduced, 4, "independent")
+        assert dominated_count(g, ipc.retained) == ds_count
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphValidationError):
+            ds_to_ipc(DirectedGraphInstance(n=0, edges=()))

@@ -1,0 +1,148 @@
+"""Tests for the NPC_k <-> VC_k reductions (Theorem 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cover import cover
+from repro.core.greedy import greedy_solve
+from repro.errors import GraphValidationError, SolverError
+from repro.reductions.vertex_cover import (
+    MaxVertexCoverInstance,
+    greedy_vertex_cover,
+    npc_to_vc,
+    vc_cover_weight,
+    vc_to_npc,
+)
+from repro.workloads.graphs import small_dense_graph
+
+
+def random_vc_instance(n, m, seed) -> MaxVertexCoverInstance:
+    rng = np.random.default_rng(seed)
+    edges = tuple(
+        (int(u), int(v), float(w))
+        for u, v, w in zip(
+            rng.integers(0, n, m), rng.integers(0, n, m),
+            rng.uniform(0.1, 2.0, m),
+        )
+    )
+    return MaxVertexCoverInstance(n=n, edges=edges)
+
+
+class TestInstanceBasics:
+    def test_endpoint_validation(self):
+        with pytest.raises(GraphValidationError, match="out of range"):
+            MaxVertexCoverInstance(n=2, edges=((0, 5, 1.0),))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphValidationError, match="negative"):
+            MaxVertexCoverInstance(n=2, edges=((0, 1, -1.0),))
+
+    def test_total_weight(self):
+        inst = MaxVertexCoverInstance(n=3, edges=((0, 1, 1.0), (1, 1, 0.5)))
+        assert inst.total_weight() == pytest.approx(1.5)
+
+    def test_cover_weight_counts_each_edge_once(self):
+        inst = MaxVertexCoverInstance(n=2, edges=((0, 1, 1.0),))
+        assert vc_cover_weight(inst, [0, 1]) == pytest.approx(1.0)
+
+    def test_self_loop_covered_only_by_its_node(self):
+        inst = MaxVertexCoverInstance(n=2, edges=((0, 0, 1.0),))
+        assert vc_cover_weight(inst, [1]) == 0.0
+        assert vc_cover_weight(inst, [0]) == 1.0
+
+
+class TestForwardReduction:
+    """NPC -> VC: cover weight equals C(S) exactly, for every S."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_objective_preserved(self, seed):
+        graph = small_dense_graph(12, variant="normalized", seed=seed)
+        instance, items = npc_to_vc(graph)
+        rng = np.random.default_rng(seed + 100)
+        for _ in range(15):
+            size = int(rng.integers(0, 13))
+            subset = rng.choice(12, size=size, replace=False)
+            assert vc_cover_weight(instance, subset) == pytest.approx(
+                cover(graph, subset, "normalized"), abs=1e-9
+            )
+
+    def test_self_loops_complete_out_weight(self):
+        from repro.core.graph import PreferenceGraph
+
+        g = PreferenceGraph.from_weights(
+            {"a": 0.7, "b": 0.3}, edges=[("a", "b", 0.4)]
+        )
+        instance, items = npc_to_vc(g)
+        loops = [(u, v, w) for u, v, w in instance.edges if u == v]
+        by_node = {items[u]: w for u, _v, w in loops}
+        # a: residual 0.6 * node weight 0.7; b: residual 1.0 * 0.3.
+        assert by_node["a"] == pytest.approx(0.42)
+        assert by_node["b"] == pytest.approx(0.3)
+        assert instance.total_weight() == pytest.approx(1.0)
+
+    def test_rejects_non_normalized_instance(self):
+        from repro.core.graph import PreferenceGraph
+
+        g = PreferenceGraph.from_weights(
+            {"a": 0.5, "b": 0.25, "c": 0.25},
+            edges=[("a", "b", 0.8), ("a", "c", 0.8)],
+        )
+        with pytest.raises(GraphValidationError, match="Normalized"):
+            npc_to_vc(g)
+
+
+class TestReverseReduction:
+    """VC -> NPC: cover(S) * total_mass equals the VC cover weight."""
+
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_objective_preserved(self, seed):
+        instance = random_vc_instance(10, 25, seed)
+        graph, mass = vc_to_npc(instance)
+        graph.validate("normalized")
+        rng = np.random.default_rng(seed + 100)
+        for _ in range(15):
+            size = int(rng.integers(0, 11))
+            subset = [int(x) for x in rng.choice(10, size=size, replace=False)]
+            assert cover(graph, subset, "normalized") * mass == pytest.approx(
+                vc_cover_weight(instance, subset), abs=1e-9
+            )
+
+    def test_roundtrip_composition(self):
+        # vc_to_npc then npc_to_vc reproduces the objective (paper's
+        # observation that the reductions compose).
+        instance = random_vc_instance(8, 18, seed=9)
+        graph, mass = vc_to_npc(instance)
+        back, items = npc_to_vc(graph)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            subset = rng.choice(8, size=4, replace=False)
+            assert vc_cover_weight(back, subset) * mass == pytest.approx(
+                vc_cover_weight(instance, subset), abs=1e-9
+            )
+
+    def test_zero_mass_rejected(self):
+        inst = MaxVertexCoverInstance(n=2, edges=())
+        with pytest.raises(GraphValidationError, match="no positive"):
+            vc_to_npc(inst)
+
+
+class TestGreedyVC:
+    def test_matches_npc_greedy_through_reduction(self):
+        # Solving the reduced VC instance greedily picks the same nodes
+        # as solving NPC_k directly (Section 3.2).
+        graph = small_dense_graph(12, variant="normalized", seed=6)
+        instance, items = npc_to_vc(graph)
+        vc_selected, vc_value = greedy_vertex_cover(instance, 4)
+        npc = greedy_solve(graph, 4, "normalized")
+        assert [items[i] for i in vc_selected] == npc.retained
+        assert vc_value == pytest.approx(npc.cover, abs=1e-9)
+
+    def test_covers_all_with_all_nodes(self):
+        instance = random_vc_instance(6, 12, seed=7)
+        _, value = greedy_vertex_cover(instance, 6)
+        assert value == pytest.approx(instance.total_weight())
+
+    def test_k_validation(self):
+        instance = random_vc_instance(4, 5, seed=8)
+        with pytest.raises(SolverError):
+            greedy_vertex_cover(instance, 9)

@@ -1,0 +1,123 @@
+"""Tests for Monte-Carlo replay validation of the cover semantics."""
+
+import pytest
+
+from repro.core.cover import cover
+from repro.core.greedy import greedy_solve
+from repro.errors import SolverError
+from repro.evaluation.replay import (
+    ReplayReport,
+    replay_match_rate,
+    simulate_fulfillment,
+)
+
+
+class TestReplayMatchRate:
+    def test_converges_to_cover(self, medium_graph, variant):
+        result = greedy_solve(medium_graph, 80, variant)
+        report = replay_match_rate(
+            medium_graph, result.retained, variant,
+            n_requests=150_000, seed=3,
+        )
+        lo, hi = report.confidence_interval()
+        assert lo <= result.cover <= hi
+
+    def test_empty_set_matches_nothing(self, small_graph, variant):
+        report = replay_match_rate(
+            small_graph, [], variant, n_requests=1000, seed=0
+        )
+        assert report.match_rate == 0.0
+
+    def test_full_set_matches_everything(self, small_graph, variant):
+        report = replay_match_rate(
+            small_graph, list(range(14)), variant, n_requests=1000, seed=0
+        )
+        assert report.match_rate == 1.0
+
+    def test_figure1_pair(self, figure1, variant):
+        report = replay_match_rate(
+            figure1, ["B", "D"], variant, n_requests=200_000, seed=1
+        )
+        assert report.match_rate == pytest.approx(0.873, abs=0.01)
+
+    def test_seed_reproducible(self, small_graph, variant):
+        a = replay_match_rate(small_graph, [0, 1], variant,
+                              n_requests=5000, seed=7)
+        b = replay_match_rate(small_graph, [0, 1], variant,
+                              n_requests=5000, seed=7)
+        assert a.n_matched == b.n_matched
+
+    def test_validation(self, small_graph):
+        with pytest.raises(SolverError, match="n_requests"):
+            replay_match_rate(small_graph, [0], "independent", n_requests=0)
+
+    def test_report_fields(self, small_graph, variant):
+        report = replay_match_rate(small_graph, [0], variant,
+                                   n_requests=1000, seed=0)
+        assert report.n_requests == 1000
+        assert 0 <= report.n_matched <= 1000
+        assert report.stderr > 0
+
+    def test_variants_diverge_on_multi_alternatives(self):
+        # Same graph, same retained set, different semantics: the
+        # normalized match rate must exceed the independent one when an
+        # uncovered item has several retained alternatives.
+        from repro.core.graph import PreferenceGraph
+
+        g = PreferenceGraph.from_weights(
+            {"v": 0.8, "a": 0.1, "b": 0.1},
+            edges=[("v", "a", 0.45), ("v", "b", 0.45)],
+        )
+        indep = replay_match_rate(g, ["a", "b"], "independent",
+                                  n_requests=150_000, seed=2)
+        norm = replay_match_rate(g, ["a", "b"], "normalized",
+                                 n_requests=150_000, seed=2)
+        assert norm.match_rate > indep.match_rate
+        assert indep.match_rate == pytest.approx(
+            cover(g, ["a", "b"], "independent"), abs=0.01
+        )
+        assert norm.match_rate == pytest.approx(
+            cover(g, ["a", "b"], "normalized"), abs=0.01
+        )
+
+
+class TestSimulateFulfillment:
+    def test_matches_true_graph_cover(self, consumer_model_independent):
+        model = consumer_model_independent
+        graph = model.true_graph()
+        result = greedy_solve(graph, 15, "independent")
+        report = simulate_fulfillment(
+            model, result.retained, n_sessions=120_000, seed=5
+        )
+        assert report.match_rate == pytest.approx(result.cover, abs=0.01)
+
+    def test_normalized_model(self, consumer_model_normalized):
+        model = consumer_model_normalized
+        graph = model.true_graph()
+        result = greedy_solve(graph, 15, "normalized")
+        report = simulate_fulfillment(
+            model, result.retained, n_sessions=120_000, seed=6
+        )
+        assert report.match_rate == pytest.approx(result.cover, abs=0.01)
+
+    def test_retained_indices_accepted(self, consumer_model_independent):
+        report = simulate_fulfillment(
+            consumer_model_independent, [0, 1, 2], n_sessions=2000, seed=0
+        )
+        assert report.match_rate > 0
+
+    def test_validation(self, consumer_model_independent):
+        with pytest.raises(SolverError):
+            simulate_fulfillment(
+                consumer_model_independent, [0], n_sessions=0
+            )
+
+
+class TestReplayReport:
+    def test_confidence_interval_clamped(self):
+        report = ReplayReport(
+            n_requests=100, n_matched=100, match_rate=1.0, stderr=0.01
+        )
+        lo, hi = report.confidence_interval()
+        assert hi == 1.0
+        assert lo < 1.0

@@ -1,0 +1,65 @@
+"""Tests for SolveResult."""
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import greedy_solve
+from repro.core.csr import as_csr
+from repro.errors import SolverError
+
+
+@pytest.fixture
+def result(figure1):
+    return greedy_solve(figure1, 3, "normalized")
+
+
+class TestSolveResult:
+    def test_cover_at(self, result):
+        assert result.cover_at(0) == 0.0
+        assert result.cover_at(1) == pytest.approx(0.66)
+        assert result.cover_at(2) == pytest.approx(0.873)
+
+    def test_cover_at_out_of_range(self, result):
+        with pytest.raises(SolverError, match="out of range"):
+            result.cover_at(4)
+        with pytest.raises(SolverError, match="out of range"):
+            result.cover_at(-1)
+
+    def test_prefix(self, result):
+        assert result.prefix(2) == ["B", "D"]
+        assert result.prefix(0) == []
+
+    def test_prefix_out_of_range(self, result):
+        with pytest.raises(SolverError, match="out of range"):
+            result.prefix(99)
+
+    def test_item_coverage(self, result, figure1):
+        csr = as_csr(figure1)
+        conditional = result.item_coverage(csr.node_weight)
+        for index in result.retained_indices:
+            assert conditional[index] == pytest.approx(1.0)
+
+    def test_item_coverage_zero_weight_safe(self, result):
+        weights = np.zeros(5)
+        conditional = result.item_coverage(weights)
+        assert np.all(conditional == 0.0)
+
+    def test_to_dict_roundtrips_json(self, result):
+        import json
+
+        payload = json.dumps(result.to_dict())
+        loaded = json.loads(payload)
+        assert loaded["variant"] == "normalized"
+        assert loaded["k"] == 3
+        assert loaded["retained"][:2] == ["B", "D"]
+
+    def test_repr(self, result):
+        assert "normalized" in repr(result)
+        assert "k=3" in repr(result)
+
+    def test_coverage_sums_to_cover(self, result):
+        assert result.coverage.sum() == pytest.approx(result.cover)
+
+    def test_frozen(self, result):
+        with pytest.raises(AttributeError):
+            result.cover = 0.0

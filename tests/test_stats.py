@@ -1,0 +1,89 @@
+"""Tests for graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import PreferenceGraph
+from repro.core.stats import GraphStats, gini_coefficient, graph_stats
+from repro.workloads.graphs import random_preference_graph
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.ones(100)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_concentrated_approaches_one(self):
+        values = np.zeros(1000)
+        values[0] = 1.0
+        assert gini_coefficient(values) > 0.99
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient(np.array([])) == 0.0
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_known_value(self):
+        # Two values {0, 1}: Gini = 0.5.
+        assert gini_coefficient(np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_scale_invariant(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 1, 50)
+        assert gini_coefficient(values) == pytest.approx(
+            gini_coefficient(values * 42.0)
+        )
+
+
+class TestGraphStats:
+    def test_figure1(self, figure1):
+        stats = graph_stats(figure1)
+        assert stats.n_items == 5
+        assert stats.n_edges == 4
+        assert stats.max_in_degree == 2  # B receives edges from A and C
+        assert stats.mean_out_degree == pytest.approx(4 / 5)
+        # D has no outgoing edges and W=0.06: uncoverable share includes
+        # B? B has an edge to C. Nodes without alternatives: B? no.
+        # Out-degrees: A->1, B->1, C->1, E->1, D->0.
+        assert stats.uncoverable_without_self == pytest.approx(0.06)
+        assert stats.isolated_items == 0
+
+    def test_isolated_items_counted(self):
+        g = PreferenceGraph.from_weights(
+            {"a": 0.5, "b": 0.3, "loner": 0.2},
+            edges=[("a", "b", 0.5)],
+        )
+        stats = graph_stats(g)
+        assert stats.isolated_items == 1
+        assert stats.uncoverable_without_self == pytest.approx(0.2 + 0.3)
+
+    def test_zipf_graph_is_skewed(self):
+        graph = random_preference_graph(2000, seed=1)
+        stats = graph_stats(graph)
+        assert stats.weight_gini > 0.3
+        assert stats.top_10pct_weight_share > 0.2
+        assert stats.mean_out_degree > 1.0
+
+    def test_to_dict_json_safe(self, figure1):
+        import json
+
+        payload = json.dumps(graph_stats(figure1).to_dict())
+        assert "n_items" in payload
+
+    def test_frozen(self, figure1):
+        stats = graph_stats(figure1)
+        with pytest.raises(AttributeError):
+            stats.n_items = 0
+
+
+class TestCliGraphStats:
+    def test_stats_graph_command(self, figure1, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+        from repro.graphio import write_graph_json
+
+        path = tmp_path / "g.json"
+        write_graph_json(figure1, path)
+        assert main(["stats", "--graph", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_items"] == 5
+        assert payload["n_edges"] == 4

@@ -1,0 +1,91 @@
+"""Tests for the generic submodular helpers and the cover functions'
+set-function properties (paper Section 2.3 / Lemma 2.6)."""
+
+import pytest
+
+from repro.core.cover import cover
+from repro.core.csr import as_csr
+from repro.core.greedy import greedy_solve
+from repro.core.submodular import (
+    ONE_MINUS_INV_E,
+    check_monotone,
+    check_submodular,
+    greedy_maximize,
+)
+
+
+class TestPropertyCheckers:
+    def test_modular_function_passes_both(self):
+        weights = {"a": 1.0, "b": 2.0, "c": 3.0}
+
+        def f(s):
+            return sum(weights[x] for x in s)
+
+        assert check_monotone(f, list(weights), trials=100)
+        assert check_submodular(f, list(weights), trials=100)
+
+    def test_supermodular_function_fails_submodularity(self):
+        # f(S) = |S|^2 is supermodular (increasing marginal gains).
+        universe = list(range(6))
+
+        def f(s):
+            return len(s) ** 2
+
+        assert check_monotone(f, universe, trials=100)
+        assert not check_submodular(f, universe, trials=200)
+
+    def test_decreasing_function_fails_monotonicity(self):
+        universe = list(range(6))
+
+        def f(s):
+            return -len(s)
+
+        assert not check_monotone(f, universe, trials=100)
+
+    def test_empty_universe_trivially_passes(self):
+        assert check_monotone(lambda s: 0.0, [], trials=10)
+        assert check_submodular(lambda s: 0.0, [], trials=10)
+
+
+class TestCoverFunctionIsSubmodular:
+    """The theoretical core: both variants' C(.) are monotone submodular."""
+
+    def test_cover_monotone(self, small_graph, variant):
+        csr = as_csr(small_graph)
+        universe = list(range(csr.n_items))
+
+        def f(s):
+            return cover(csr, sorted(s), variant)
+
+        assert check_monotone(f, universe, trials=60, seed=1)
+
+    def test_cover_submodular(self, small_graph, variant):
+        csr = as_csr(small_graph)
+        universe = list(range(csr.n_items))
+
+        def f(s):
+            return cover(csr, sorted(s), variant)
+
+        assert check_submodular(f, universe, trials=60, seed=1)
+
+
+class TestGenericGreedy:
+    def test_matches_specialized_greedy(self, small_graph, variant):
+        csr = as_csr(small_graph)
+        universe = list(range(csr.n_items))
+
+        def f(s):
+            return cover(csr, sorted(s), variant)
+
+        generic_selection, generic_value = greedy_maximize(f, universe, 5)
+        specialized = greedy_solve(csr, 5, variant)
+        assert generic_value == pytest.approx(specialized.cover, abs=1e-9)
+        assert generic_selection == list(specialized.retained_indices)
+
+    def test_stops_when_universe_exhausted(self):
+        selection, value = greedy_maximize(lambda s: len(s), ["a", "b"], 5)
+        assert sorted(selection) == ["a", "b"]
+        assert value == 2
+
+    def test_constant(self):
+        assert ONE_MINUS_INV_E == pytest.approx(1 - 1 / 2.718281828459045)

@@ -1,0 +1,134 @@
+"""Tests for data-driven variant selection (Section 5.2 fitness tests)."""
+
+import pytest
+
+from repro.adaptation.variant_selection import (
+    VariantRecommendation,
+    _pair_nmi,
+    independence_score,
+    normalized_fit,
+    recommend_variant,
+)
+from repro.clickstream.generator import ConsumerModel, ShopperConfig
+from repro.clickstream.models import Clickstream, Session
+from repro.core.variants import Variant
+from repro.errors import AdaptationError
+
+
+def stream(*sessions) -> Clickstream:
+    return Clickstream(
+        Session(f"s{i}", clicks, purchase)
+        for i, (clicks, purchase) in enumerate(sessions)
+    )
+
+
+class TestNormalizedFit:
+    def test_perfect_fit(self):
+        s = stream((("b",), "a"), ((), "a"), (("c",), "a"))
+        assert normalized_fit(s) == 1.0
+
+    def test_partial_fit(self):
+        s = stream((("b", "c"), "a"), ((), "a"), (("b",), "a"), ((), "a"))
+        assert normalized_fit(s) == pytest.approx(0.75)
+
+    def test_browse_only_ignored(self):
+        s = stream((("x", "y", "z"), None), ((), "a"))
+        assert normalized_fit(s) == 1.0
+
+    def test_no_purchases_raises(self):
+        with pytest.raises(AdaptationError):
+            normalized_fit(stream((("x",), None)))
+
+
+class TestPairNmi:
+    def test_independent_counts_give_zero(self):
+        # Perfectly factorized joint counts.
+        assert _pair_nmi(25, 25, 25, 25) == pytest.approx(0.0, abs=1e-12)
+
+    def test_total_dependence_gives_one(self):
+        assert _pair_nmi(50, 0, 0, 50) == pytest.approx(1.0)
+
+    def test_degenerate_marginal_gives_zero(self):
+        assert _pair_nmi(100, 0, 100, 0) == 0.0  # first always clicked
+
+    def test_empty_counts(self):
+        assert _pair_nmi(0, 0, 0, 0) == 0.0
+
+    def test_symmetry(self):
+        assert _pair_nmi(30, 10, 20, 40) == pytest.approx(
+            _pair_nmi(30, 20, 10, 40)
+        )
+
+
+class TestIndependenceScore:
+    def test_independent_behavior_scores_low(self):
+        model = ConsumerModel(
+            ShopperConfig(n_items=80, behavior="independent"), seed=1
+        )
+        score = independence_score(model.generate(15_000, seed=2))
+        assert score is not None
+        assert score < 0.1
+
+    def test_normalized_behavior_scores_higher(self):
+        # Mutually exclusive clicks are strongly (negatively) dependent.
+        model = ConsumerModel(
+            ShopperConfig(n_items=80, behavior="normalized"), seed=3
+        )
+        score = independence_score(model.generate(15_000, seed=4))
+        assert score is not None
+        indep_model = ConsumerModel(
+            ShopperConfig(n_items=80, behavior="independent"), seed=3
+        )
+        indep_score = independence_score(indep_model.generate(15_000, seed=4))
+        assert score > indep_score
+
+    def test_none_when_no_item_qualifies(self):
+        s = stream((("b",), "a"), ((), "a"))
+        assert independence_score(s, min_purchases=5) is None
+
+    def test_min_purchases_gate(self):
+        sessions = [(("b", "c"), "a")] * 3 + [((), "b"), ((), "c")]
+        s = stream(*sessions)
+        assert independence_score(s, min_purchases=10) is None
+        assert independence_score(s, min_purchases=1) is not None
+
+
+class TestRecommendVariant:
+    def test_normalized_population_detected(self):
+        model = ConsumerModel(
+            ShopperConfig(n_items=60, behavior="normalized"), seed=5
+        )
+        rec = recommend_variant(model.generate(5_000, seed=6))
+        assert rec.variant is Variant.NORMALIZED
+        assert rec.fits
+        assert rec.normalized_fit >= 0.9
+
+    def test_independent_population_detected(self):
+        model = ConsumerModel(
+            ShopperConfig(n_items=60, behavior="independent"), seed=7
+        )
+        rec = recommend_variant(model.generate(15_000, seed=8))
+        assert rec.variant is Variant.INDEPENDENT
+        assert rec.fits
+        assert rec.independence_score < 0.1
+
+    def test_fallback_when_neither_fits(self):
+        # Strongly dependent, multi-click data: b and c are clicked
+        # either together or not at all (perfect correlation, NMI = 1).
+        sessions = [(("b", "c"), "a")] * 30 + [((), "a")] * 30 + [
+            ((), "b"), ((), "c"),
+        ]
+        rec = recommend_variant(stream(*sessions))
+        assert rec.variant is Variant.INDEPENDENT
+        assert not rec.fits
+
+    def test_thresholds_configurable(self):
+        s = stream(
+            *([(("b",), "a")] * 8 + [(("b", "c"), "a")] * 2
+              + [((), "b"), ((), "c")])
+        )
+        default = recommend_variant(s)
+        # 10/12 purchasing sessions have <=1 alternative: ~0.83 < 0.9.
+        assert default.normalized_fit < 0.9
+        relaxed = recommend_variant(s, normalized_threshold=0.8)
+        assert relaxed.variant is Variant.NORMALIZED

@@ -1,0 +1,72 @@
+"""Tests for repro.core.variants."""
+
+import pytest
+
+from repro.core.variants import INDEPENDENT, NORMALIZED, Variant
+
+
+class TestCoerce:
+    def test_passthrough(self):
+        assert Variant.coerce(Variant.INDEPENDENT) is Variant.INDEPENDENT
+        assert Variant.coerce(Variant.NORMALIZED) is Variant.NORMALIZED
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("independent", Variant.INDEPENDENT),
+            ("Independent", Variant.INDEPENDENT),
+            ("IPC", Variant.INDEPENDENT),
+            ("ipc_k", Variant.INDEPENDENT),
+            ("normalized", Variant.NORMALIZED),
+            ("normalised", Variant.NORMALIZED),
+            ("NPC", Variant.NORMALIZED),
+            ("npc_k", Variant.NORMALIZED),
+            ("  normalized  ", Variant.NORMALIZED),
+        ],
+    )
+    def test_string_aliases(self, name, expected):
+        assert Variant.coerce(name) is expected
+
+    @pytest.mark.parametrize("bad", ["", "indep", "both", 3, None])
+    def test_rejects_unknown(self, bad):
+        with pytest.raises(ValueError, match="unknown"):
+            Variant.coerce(bad)
+
+
+class TestMatchProbability:
+    def test_empty_edges_never_match(self):
+        assert INDEPENDENT.match_probability([]) == 0.0
+        assert NORMALIZED.match_probability([]) == 0.0
+
+    def test_single_edge_equal(self):
+        # With one alternative both semantics coincide.
+        assert INDEPENDENT.match_probability([0.4]) == pytest.approx(0.4)
+        assert NORMALIZED.match_probability([0.4]) == pytest.approx(0.4)
+
+    def test_independent_product_rule(self):
+        got = INDEPENDENT.match_probability([0.5, 0.5])
+        assert got == pytest.approx(0.75)
+
+    def test_normalized_sum_rule(self):
+        got = NORMALIZED.match_probability([0.3, 0.2])
+        assert got == pytest.approx(0.5)
+
+    def test_normalized_caps_at_one(self):
+        assert NORMALIZED.match_probability([0.8, 0.7]) == 1.0
+
+    def test_independent_dominates_normalized_is_false(self):
+        # For the same weights, the sum (normalized) always >= the
+        # independent noisy-or: 1 - prod(1-w) <= sum(w).
+        weights = [0.2, 0.3, 0.25]
+        indep = INDEPENDENT.match_probability(weights)
+        norm = NORMALIZED.match_probability(weights)
+        assert indep <= norm
+
+    def test_probability_one_edge_forces_match(self):
+        assert INDEPENDENT.match_probability([1.0, 0.1]) == pytest.approx(1.0)
+
+
+class TestShortName:
+    def test_names(self):
+        assert INDEPENDENT.short_name == "IPC"
+        assert NORMALIZED.short_name == "NPC"
