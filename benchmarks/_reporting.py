@@ -9,7 +9,6 @@ Tables are also written to ``benchmarks/results/`` for later inspection.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 from typing import List, Tuple
 

@@ -30,9 +30,9 @@ def graph():
 def test_ablation_revenue(benchmark, graph):
     rng = np.random.default_rng(111)
     revenues = rng.lognormal(mean=2.0, sigma=1.0, size=N_ITEMS)
-    plain = greedy_solve(graph, K, "independent")
+    plain = greedy_solve(graph, k=K, variant="independent")
     aware = benchmark.pedantic(
-        lambda: revenue_greedy_solve(graph, K, "independent", revenues),
+        lambda: revenue_greedy_solve(graph, k=K, variant="independent", revenues=revenues),
         rounds=3, iterations=1,
     )
     plain_revenue = expected_revenue(
@@ -86,7 +86,7 @@ def test_ablation_incremental(benchmark, graph):
     incremental = benchmark.pedantic(drift_and_resolve, rounds=3,
                                      iterations=1)
     start = time.perf_counter()
-    fresh = greedy_solve(pg, K, "independent")
+    fresh = greedy_solve(pg, k=K, variant="independent")
     fresh_time = time.perf_counter() - start
     assert incremental.retained == fresh.retained
 
@@ -119,10 +119,10 @@ def test_ablation_capacity(benchmark, graph):
     costs = rng.uniform(0.5, 2.0, N_ITEMS)
     budget = float(K)  # equals the cardinality budget at unit avg cost
     capped = benchmark.pedantic(
-        lambda: capacity_greedy_solve(graph, budget, "independent", costs),
+        lambda: capacity_greedy_solve(graph, budget=budget, variant="independent", costs=costs),
         rounds=1, iterations=1,
     )
-    plain = greedy_solve(graph, K, "independent")
+    plain = greedy_solve(graph, k=K, variant="independent")
     plain_cost = budget_spent(graph, plain.retained, costs)
     rows = [
         {

@@ -8,7 +8,6 @@ retained = fulfilled; clicked-a-retained-item = substituted).  The
 paper's ordering must survive out of sample.
 """
 
-import pytest
 
 from _reporting import register_report
 from repro.adaptation import build_preference_graph
@@ -30,10 +29,10 @@ def test_ablation_holdout_evaluation(benchmark):
 
     def run_all():
         return {
-            "greedy": greedy_solve(graph, k, "independent"),
-            "topk-weight": top_k_weight_solve(graph, k, "independent"),
+            "greedy": greedy_solve(graph, k=k, variant="independent"),
+            "topk-weight": top_k_weight_solve(graph, k=k, variant="independent"),
             "random(best-of-10)": random_solve(
-                graph, k, "independent", seed=142, draws=10
+                graph, k=k, variant="independent", seed=142, draws=10
             ),
         }
 

@@ -10,7 +10,6 @@ the pipage pass re-evaluates a quadratic objective per step).
 
 import time
 
-import pytest
 
 from _reporting import register_report
 from repro.core.greedy import greedy_solve
@@ -24,7 +23,7 @@ SIZES = (50, 150, 400, 1000)
 def test_ablation_lp_vs_greedy(benchmark):
     small = random_preference_graph(SIZES[0], variant="normalized", seed=130)
     benchmark.pedantic(
-        lambda: lp_round_solve(small, SIZES[0] // 5),
+        lambda: lp_round_solve(small, k=SIZES[0] // 5),
         rounds=3, iterations=1,
     )
 
@@ -34,11 +33,11 @@ def test_ablation_lp_vs_greedy(benchmark):
         k = n // 5
 
         start = time.perf_counter()
-        greedy = greedy_solve(graph, k, "normalized")
+        greedy = greedy_solve(graph, k=k, variant="normalized")
         greedy_time = time.perf_counter() - start
 
         start = time.perf_counter()
-        lp = lp_round_solve(graph, k)
+        lp = lp_round_solve(graph, k=k)
         lp_time = time.perf_counter() - start
 
         rows.append(

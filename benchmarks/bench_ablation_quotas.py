@@ -6,7 +6,6 @@ The cover lost to the constraint is the "price" merchandising pays for
 guaranteed department representation.
 """
 
-import pytest
 
 from _reporting import register_report
 from repro.core.greedy import greedy_solve
@@ -25,13 +24,14 @@ def test_ablation_category_quotas(benchmark):
         item: f"dept{i % N_CATEGORIES}"
         for i, item in enumerate(graph.items)
     }
-    free = greedy_solve(graph, K, "independent")
+    free = greedy_solve(graph, k=K, variant="independent")
 
     def run_tightest():
         quotas = {f"dept{i}": K // N_CATEGORIES
                   for i in range(N_CATEGORIES)}
         return quota_greedy_solve(
-            graph, "independent", categories, quotas, k=K
+            graph, variant="independent", categories=categories,
+            quotas=quotas, k=K
         )
 
     benchmark.pedantic(run_tightest, rounds=3, iterations=1)
@@ -49,7 +49,8 @@ def test_ablation_category_quotas(benchmark):
     for quota in (K // 2, K // 4, K // N_CATEGORIES):
         quotas = {f"dept{i}": quota for i in range(N_CATEGORIES)}
         result = quota_greedy_solve(
-            graph, "independent", categories, quotas, k=K
+            graph, variant="independent", categories=categories,
+            quotas=quotas, k=K
         )
         rows.append(
             {

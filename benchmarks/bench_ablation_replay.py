@@ -5,7 +5,6 @@ simulated match rate (sampling actual acceptance events, never using the
 formula) agrees with the exact cover within Monte-Carlo error.
 """
 
-import pytest
 
 from _reporting import register_report
 from repro.core.greedy import greedy_solve
@@ -22,7 +21,7 @@ def test_ablation_replay_agreement(benchmark):
     for variant in ("independent", "normalized"):
         graph = random_preference_graph(N_ITEMS, variant=variant, seed=100)
         for k in (100, 400, 1000):
-            result = greedy_solve(graph, k, variant)
+            result = greedy_solve(graph, k=k, variant=variant)
             report = replay_match_rate(
                 graph, result.retained, variant,
                 n_requests=N_REQUESTS, seed=101,
@@ -41,7 +40,7 @@ def test_ablation_replay_agreement(benchmark):
 
     # Benchmark one replay.
     graph = random_preference_graph(N_ITEMS, seed=100)
-    result = greedy_solve(graph, 400, "independent")
+    result = greedy_solve(graph, k=400, variant="independent")
     benchmark.pedantic(
         lambda: replay_match_rate(
             graph, result.retained, "independent",

@@ -28,7 +28,7 @@ def graph():
 @pytest.mark.parametrize("strategy", STRATEGIES)
 def test_ablation_strategy_timing(benchmark, graph, strategy):
     result = benchmark.pedantic(
-        lambda: greedy_solve(graph, K, "independent", strategy=strategy),
+        lambda: greedy_solve(graph, k=K, variant="independent", strategy=strategy),
         rounds=3, iterations=1,
     )
     assert len(result.retained) == K
@@ -43,7 +43,7 @@ def test_ablation_strategy_table(benchmark, graph):
         for strategy in STRATEGIES:
             start = time.perf_counter()
             result = greedy_solve(
-                graph, K, "independent", strategy=strategy
+                graph, k=K, variant="independent", strategy=strategy
             )
             elapsed = time.perf_counter() - start
             covers[strategy] = result.cover

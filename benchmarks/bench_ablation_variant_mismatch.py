@@ -30,7 +30,7 @@ def _mismatch_rows(behavior: str, seed: int):
     rows = []
     for solve_variant in ("independent", "normalized"):
         graph = build_preference_graph(stream, solve_variant)
-        result = greedy_solve(graph, K, solve_variant)
+        result = greedy_solve(graph, k=K, variant=solve_variant)
         realized = simulate_fulfillment(
             model, result.retained, n_sessions=80_000, seed=seed + 2
         )

@@ -9,10 +9,8 @@ second test extends the optimality comparison to n=200 through the
 exact MILP oracle.  Row computation lives in ``repro.experiments``.
 """
 
-import pytest
 
 from _reporting import register_report
-from repro.core.greedy import greedy_solve
 from repro.evaluation.metrics import format_table
 from repro.experiments import fig4a_milp_rows, fig4a_rows
 from repro.workloads.graphs import random_preference_graph
@@ -48,7 +46,7 @@ def test_fig4a_milp_oracle_at_scale(benchmark):
 
     graph = random_preference_graph(200, variant="normalized", seed=22)
     benchmark.pedantic(
-        lambda: milp_solve_npc(graph, 40), rounds=3, iterations=1
+        lambda: milp_solve_npc(graph, k=40), rounds=3, iterations=1
     )
 
     rows = fig4a_milp_rows(n_items=200, seed=22)

@@ -7,7 +7,6 @@ is already five-plus orders of magnitude slower.  Row computation lives
 in ``repro.experiments``.
 """
 
-import pytest
 
 from _reporting import register_report
 from repro.core.greedy import greedy_solve
@@ -22,7 +21,7 @@ SIZES = (10, 12, 14, 16, 18)
 def test_fig4b_runtime_greedy_vs_bruteforce(benchmark):
     graph = small_dense_graph(18, variant="normalized", seed=48)
     benchmark.pedantic(
-        lambda: greedy_solve(graph, 9, "normalized"),
+        lambda: greedy_solve(graph, k=9, variant="normalized"),
         rounds=10, iterations=1,
     )
 

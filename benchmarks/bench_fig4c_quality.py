@@ -28,7 +28,7 @@ def yc_graph():
 def test_fig4c_coverage_quality(benchmark, yc_graph):
     n = yc_graph.n_items
     benchmark.pedantic(
-        lambda: greedy_solve(yc_graph, n // 2, "independent"),
+        lambda: greedy_solve(yc_graph, k=n // 2, variant="independent"),
         rounds=5, iterations=1,
     )
 

@@ -69,12 +69,13 @@ def test_fig4e_parallel_speedup_model(benchmark, graph):
 
 def test_fig4e_process_pool_correctness(benchmark, graph):
     """The real executor returns the exact serial selection."""
-    serial = greedy_solve(graph, 20, "independent", strategy="naive")
+    serial = greedy_solve(graph, k=20, variant="independent", strategy="naive")
 
     def run_parallel():
         with ParallelGainEvaluator(graph, "independent", n_workers=2) as pool:
             return greedy_solve(
-                graph, 20, "independent", strategy="naive", parallel=pool
+                graph, k=20, variant="independent", strategy="naive",
+                parallel=pool
             )
 
     parallel = benchmark.pedantic(run_parallel, rounds=1, iterations=1)

@@ -27,7 +27,7 @@ def yc_graph():
 
 def test_fig4f_complementary_problem(benchmark, yc_graph):
     benchmark.pedantic(
-        lambda: greedy_threshold_solve(yc_graph, 0.7, "independent"),
+        lambda: greedy_threshold_solve(yc_graph, threshold=0.7, variant="independent"),
         rounds=5, iterations=1,
     )
 

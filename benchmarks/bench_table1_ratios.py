@@ -7,13 +7,12 @@ optimum across the k/n spectrum, which lands far above the worst-case
 bound.  Row computation lives in ``repro.experiments``.
 """
 
-import pytest
 
 from _reporting import register_report
 from repro.core.greedy import greedy_solve
 from repro.evaluation.metrics import format_table
 from repro.experiments import table1_measured_rows
-from repro.reductions.bounds import greedy_ratio_bound, table1_rows
+from repro.reductions.bounds import table1_rows
 from repro.workloads.graphs import small_dense_graph
 
 N_SMALL = 12
@@ -24,7 +23,7 @@ def test_table1_bounds_and_empirical_ratios(benchmark):
     """Reproduce Table 1 and measure actual greedy quality per k/n."""
     graph = small_dense_graph(N_SMALL, variant="normalized", seed=0)
     benchmark.pedantic(
-        lambda: greedy_solve(graph, N_SMALL // 2, "normalized"),
+        lambda: greedy_solve(graph, k=N_SMALL // 2, variant="normalized"),
         rounds=10, iterations=1,
     )
 

@@ -7,6 +7,10 @@ output of ``pytest benchmarks/ --benchmark-only``.
 ``--bench-full`` escalates the scalability experiments to the paper's
 full sizes (n up to 1M); without it they run at container-friendly
 scale.
+
+Benchmarks that accept the session-scoped ``bench_metrics`` registry
+contribute solver counters/timers to it; the harness prints the merged
+table after the run and writes it to ``benchmarks/results/metrics.json``.
 """
 
 from __future__ import annotations
@@ -18,7 +22,11 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _reporting import drain_reports  # noqa: E402
+from _reporting import RESULTS_DIR, drain_reports  # noqa: E402
+
+from repro.observability import MetricsRegistry  # noqa: E402
+
+_BENCH_METRICS = MetricsRegistry()
 
 
 def pytest_addoption(parser):
@@ -36,15 +44,31 @@ def bench_full(request) -> bool:
     return request.config.getoption("--bench-full")
 
 
+@pytest.fixture(scope="session")
+def bench_metrics() -> MetricsRegistry:
+    """Session-wide registry benchmarks dump solver metrics into."""
+    return _BENCH_METRICS
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     reports = drain_reports()
-    if not reports:
-        return
-    terminalreporter.write_sep("=", "reproduced paper tables and figures")
-    for title, table_text in reports:
+    if reports:
+        terminalreporter.write_sep(
+            "=", "reproduced paper tables and figures"
+        )
+        for title, table_text in reports:
+            terminalreporter.write_line("")
+            terminalreporter.write_line(table_text)
         terminalreporter.write_line("")
-        terminalreporter.write_line(table_text)
-    terminalreporter.write_line("")
-    terminalreporter.write_line(
-        "(tables also written to benchmarks/results/)"
-    )
+        terminalreporter.write_line(
+            "(tables also written to benchmarks/results/)"
+        )
+    if _BENCH_METRICS:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        metrics_path = RESULTS_DIR / "metrics.json"
+        with open(metrics_path, "w", encoding="utf-8") as handle:
+            handle.write(_BENCH_METRICS.to_json())
+            handle.write("\n")
+        terminalreporter.write_sep("=", "solver metrics")
+        terminalreporter.write_line(_BENCH_METRICS.summary())
+        terminalreporter.write_line(f"(written to {metrics_path})")

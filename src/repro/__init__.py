@@ -57,6 +57,13 @@ from .errors import (
     SolverError,
     UnknownItemError,
 )
+from .facade import solve
+from .observability import (
+    MetricsRegistry,
+    NullTracer,
+    SolverTrace,
+    Telemetry,
+)
 from .pipeline import InventoryReducer, RetainedInventoryReport
 
 __version__ = "1.0.0"
@@ -77,12 +84,16 @@ __all__ = [
     "GraphValidationError",
     "GreedyState",
     "INDEPENDENT",
+    "MetricsRegistry",
     "NORMALIZED",
+    "NullTracer",
     "ParallelGainEvaluator",
     "PreferenceGraph",
     "ReproError",
     "SolveResult",
     "SolverError",
+    "SolverTrace",
+    "Telemetry",
     "UnknownItemError",
     "Variant",
     "as_csr",
@@ -94,6 +105,7 @@ __all__ = [
     "greedy_threshold_solve",
     "item_coverage",
     "random_solve",
+    "solve",
     "top_k_coverage_solve",
     "top_k_coverage_threshold",
     "top_k_weight_solve",

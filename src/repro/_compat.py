@@ -1,0 +1,62 @@
+"""Backward-compatibility helpers for the keyword-only solver API.
+
+The 2.x API makes every ``*_solve`` parameter after ``graph``
+keyword-only (consistent ``k=`` / ``variant=`` / ``threshold=`` /
+``seed=`` naming across solvers).  Legacy positional call sites keep
+working through :func:`keyword_only_shim`, which maps the old
+positional order onto keywords and emits a :class:`DeprecationWarning`
+pointing at the caller.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+
+
+def keyword_only_shim(*legacy_names: str):
+    """Accept legacy positional arguments after ``graph`` with a warning.
+
+    Decorate a function whose canonical signature is
+    ``func(graph, *, name1=..., name2=..., ...)`` with the *positional*
+    order the pre-redesign API used::
+
+        @keyword_only_shim("k", "variant")
+        def greedy_solve(graph, *, k, variant, ...): ...
+
+    A call ``greedy_solve(g, 5, "independent")`` then maps ``5 -> k``
+    and ``"independent" -> variant``, warns once per call site, and
+    forwards.  Keyword calls pass through untouched.
+    """
+
+    def decorate(func):
+        @functools.wraps(func)
+        def wrapper(graph, *args, **kwargs):
+            if args:
+                if len(args) > len(legacy_names):
+                    raise TypeError(
+                        f"{func.__name__}() takes at most "
+                        f"{len(legacy_names)} legacy positional arguments "
+                        f"after graph ({len(args)} given)"
+                    )
+                mapped = legacy_names[: len(args)]
+                warnings.warn(
+                    f"passing {', '.join(mapped)} to {func.__name__}() "
+                    f"positionally is deprecated; use keyword arguments "
+                    f"({func.__name__}(graph, "
+                    f"{', '.join(f'{name}=...' for name in mapped)}))",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                for name, value in zip(mapped, args):
+                    if name in kwargs:
+                        raise TypeError(
+                            f"{func.__name__}() got multiple values for "
+                            f"argument {name!r}"
+                        )
+                    kwargs[name] = value
+            return func(graph, **kwargs)
+
+        return wrapper
+
+    return decorate

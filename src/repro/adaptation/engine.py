@@ -27,6 +27,7 @@ from typing import Dict, Hashable, Optional, Tuple
 from ..core.graph import PreferenceGraph
 from ..core.variants import Variant
 from ..errors import AdaptationError
+from ..observability import coerce_tracer
 from ..clickstream.models import Clickstream
 
 
@@ -83,12 +84,17 @@ class DataAdaptationEngine:
     def __init__(self, config: Optional[AdaptationConfig] = None) -> None:
         self.config = config or AdaptationConfig()
 
-    def build_graph(self, clickstream: Clickstream) -> PreferenceGraph:
+    def build_graph(
+        self, clickstream: Clickstream, *, tracer=None
+    ) -> PreferenceGraph:
         """Construct the preference graph for ``clickstream``.
 
         Raises :class:`AdaptationError` when the stream contains no
-        purchases (node weights would be undefined).
+        purchases (node weights would be undefined).  When a ``tracer``
+        is supplied the engine records session/edge counters under the
+        ``adaptation.*`` metric prefix.
         """
+        tracer = coerce_tracer(tracer)
         config = self.config
         purchase_counts: Counter = Counter()
         # click_mass[(A, B)]: (weighted) number of A-purchasing sessions
@@ -96,8 +102,10 @@ class DataAdaptationEngine:
         click_mass: Dict[Tuple[Hashable, Hashable], float] = defaultdict(float)
         session_support: Counter = Counter()
         click_only_items = set()
+        n_sessions = 0
 
         for session in clickstream:
+            n_sessions += 1
             if session.purchase is None:
                 continue
             desired = session.purchase
@@ -129,6 +137,7 @@ class DataAdaptationEngine:
                 if item not in graph:
                     graph.add_item(item, 0.0)
 
+        edges_kept = 0
         for (desired, clicked), mass in click_mass.items():
             if clicked not in graph or desired not in graph:
                 continue  # endpoint excluded (never purchased)
@@ -140,6 +149,18 @@ class DataAdaptationEngine:
             if weight <= config.min_edge_weight:
                 continue
             graph.add_edge(desired, clicked, min(weight, 1.0))
+            edges_kept += 1
+        if tracer.enabled:
+            tracer.incr("adaptation.sessions", n_sessions)
+            tracer.incr("adaptation.purchasing_sessions", total_purchases)
+            tracer.incr("adaptation.candidate_edges", len(click_mass))
+            tracer.incr("adaptation.edges_kept", edges_kept)
+            tracer.incr("adaptation.items", graph.n_items)
+            tracer.event(
+                "adaptation.graph_built", items=graph.n_items,
+                edges=edges_kept, sessions=n_sessions,
+                purchasing_sessions=total_purchases,
+            )
         return graph
 
 

@@ -22,11 +22,11 @@ from typing import List, Optional
 from .adaptation.engine import build_preference_graph
 from .adaptation.variant_selection import recommend_variant
 from .clickstream.io import read_jsonl, write_jsonl, write_yoochoose
-from .core.greedy import greedy_solve
+from .facade import solve
 from .graphio import read_graph_json, write_graph_json
-from .core.threshold import greedy_threshold_solve
 from .core.variants import Variant
 from .errors import ReproError
+from .observability import SolverTrace
 from .pipeline import InventoryReducer
 from .workloads.datasets import PAPER_DATASETS, build_dataset
 
@@ -87,20 +87,40 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     graph = read_graph_json(args.graph)
     variant = Variant.coerce(args.variant)
     graph.validate(variant)
-    if args.threshold is not None:
-        result = greedy_threshold_solve(graph, args.threshold, variant)
-    else:
-        if args.k is None:
-            print("error: provide -k or --threshold", file=sys.stderr)
-            return 2
-        result = greedy_solve(
-            graph, args.k, variant, strategy=args.strategy,
-            must_retain=args.must_retain or None,
-            exclude=args.exclude or None,
-        )
+    if args.k is None and args.threshold is None:
+        print("error: provide -k or --threshold", file=sys.stderr)
+        return 2
+    tracer = SolverTrace() if (args.trace or args.metrics) else None
+    constraints = {}
+    if args.must_retain:
+        constraints["must_retain"] = args.must_retain
+    if args.exclude:
+        constraints["exclude"] = args.exclude
+    result = solve(
+        graph,
+        variant=variant,
+        k=args.k,
+        threshold=args.threshold,
+        strategy=args.strategy,
+        constraints=constraints or None,
+        tracer=tracer,
+    )
     print(f"cover C(S) = {result.cover:.6f} with {len(result.retained)} items")
     for rank, item in enumerate(result.retained[: args.show], start=1):
         print(f"  {rank:4d}. {item}")
+    if args.trace:
+        try:
+            tracer.write_jsonl(args.trace)
+        except OSError as exc:
+            print(f"error: cannot write trace: {exc}", file=sys.stderr)
+            return 1
+        iterations = len(tracer.events_of("iteration"))
+        print(
+            f"trace with {len(tracer)} events ({iterations} iterations) "
+            f"written to {args.trace}"
+        )
+    if args.metrics:
+        print(result.telemetry.summary())
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(result.to_dict(), handle)
@@ -209,9 +229,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Preference Cover inventory reduction (EDBT 2020)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -241,22 +266,27 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("-o", "--output", required=True)
     build.set_defaults(func=_cmd_build_graph)
 
-    solve = sub.add_parser("solve", help="solve a preference graph")
-    solve.add_argument("graph")
-    solve.add_argument("--variant",
-                       choices=["independent", "normalized"],
-                       required=True)
-    solve.add_argument("-k", type=int, default=None)
-    solve.add_argument("--threshold", type=float, default=None)
-    solve.add_argument("--strategy", default="auto")
-    solve.add_argument("--must-retain", nargs="*", default=[],
-                       help="items that must stay in the assortment")
-    solve.add_argument("--exclude", nargs="*", default=[],
-                       help="items that may never be retained")
-    solve.add_argument("--show", type=int, default=10,
-                       help="how many retained items to print")
-    solve.add_argument("-o", "--output", default=None)
-    solve.set_defaults(func=_cmd_solve)
+    solve_cmd = sub.add_parser("solve", help="solve a preference graph")
+    solve_cmd.add_argument("graph")
+    solve_cmd.add_argument("--variant",
+                           choices=["independent", "normalized"],
+                           required=True)
+    solve_cmd.add_argument("-k", type=int, default=None)
+    solve_cmd.add_argument("--threshold", type=float, default=None)
+    solve_cmd.add_argument("--strategy", default="auto")
+    solve_cmd.add_argument("--must-retain", nargs="*", default=[],
+                           help="items that must stay in the assortment")
+    solve_cmd.add_argument("--exclude", nargs="*", default=[],
+                           help="items that may never be retained")
+    solve_cmd.add_argument("--show", type=int, default=10,
+                           help="how many retained items to print")
+    solve_cmd.add_argument("--trace", default=None, metavar="PATH",
+                           help="write the solver event stream (one JSONL "
+                                "event per greedy iteration) to PATH")
+    solve_cmd.add_argument("--metrics", action="store_true",
+                           help="print the run's metrics summary")
+    solve_cmd.add_argument("-o", "--output", default=None)
+    solve_cmd.set_defaults(func=_cmd_solve)
 
     pipe = sub.add_parser("pipeline", help="end-to-end Figure 2 flow")
     pipe.add_argument("clickstream")

@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from .._compat import keyword_only_shim
 from .._rng import SeedLike, resolve_rng
 from ..errors import SolverError
 from .cover import cover as exact_cover
@@ -88,8 +89,9 @@ def top_k_coverage_order(graph, variant: "Variant | str") -> np.ndarray:
 # ----------------------------------------------------------------------
 # Top-k solvers
 # ----------------------------------------------------------------------
+@keyword_only_shim("k", "variant")
 def top_k_weight_solve(
-    graph, k: int, variant: "Variant | str"
+    graph, *, k: int, variant: "Variant | str"
 ) -> SolveResult:
     """``TopK-W``: the ``k`` best-selling items."""
     variant = Variant.coerce(variant)
@@ -101,8 +103,9 @@ def top_k_weight_solve(
     return _result_from_order(csr, order, k, variant, "topk-weight", elapsed)
 
 
+@keyword_only_shim("k", "variant")
 def top_k_coverage_solve(
-    graph, k: int, variant: "Variant | str"
+    graph, *, k: int, variant: "Variant | str"
 ) -> SolveResult:
     """``TopK-C``: the ``k`` items with highest standalone coverage."""
     variant = Variant.coerce(variant)
@@ -114,11 +117,12 @@ def top_k_coverage_solve(
     return _result_from_order(csr, order, k, variant, "topk-coverage", elapsed)
 
 
+@keyword_only_shim("k", "variant")
 def random_solve(
     graph,
+    *,
     k: int,
     variant: "Variant | str",
-    *,
     seed: SeedLike = None,
     draws: int = 1,
 ) -> SolveResult:
@@ -178,8 +182,9 @@ def _smallest_qualifying_prefix(
     return lo
 
 
+@keyword_only_shim("threshold", "variant")
 def top_k_weight_threshold(
-    graph, threshold: float, variant: "Variant | str"
+    graph, *, threshold: float, variant: "Variant | str"
 ) -> SolveResult:
     """TopK-W adapted to the minimization problem (smallest prefix)."""
     variant = Variant.coerce(variant)
@@ -193,8 +198,9 @@ def top_k_weight_threshold(
     )
 
 
+@keyword_only_shim("threshold", "variant")
 def top_k_coverage_threshold(
-    graph, threshold: float, variant: "Variant | str"
+    graph, *, threshold: float, variant: "Variant | str"
 ) -> SolveResult:
     """TopK-C adapted to the minimization problem (smallest prefix)."""
     variant = Variant.coerce(variant)

@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .._compat import keyword_only_shim
 from ..errors import SolverError
 from .cover import coverage_vector
 from .csr import as_csr
@@ -22,11 +23,12 @@ from .result import SolveResult
 from .variants import Variant
 
 
+@keyword_only_shim("k", "variant")
 def brute_force_solve(
     graph,
+    *,
     k: int,
     variant: "Variant | str",
-    *,
     max_subsets: Optional[int] = 20_000_000,
 ) -> SolveResult:
     """Find an optimal retained set by exhaustive enumeration.

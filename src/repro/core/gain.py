@@ -22,6 +22,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import SolverError
+from ..observability import NULL_TRACER
 from .csr import CSRGraph
 from .variants import Variant
 
@@ -36,9 +37,12 @@ class GreedyState:
     multiplies edge weights by exactly this quantity.
     """
 
-    def __init__(self, csr: CSRGraph, variant: "Variant | str") -> None:
+    def __init__(
+        self, csr: CSRGraph, variant: "Variant | str", *, tracer=None
+    ) -> None:
         self.csr = csr
         self.variant = Variant.coerce(variant)
+        self.tracer = NULL_TRACER if tracer is None else tracer
         n = csr.n_items
         self.in_set = np.zeros(n, dtype=bool)
         self.coverage = np.zeros(n, dtype=np.float64)  # the paper's I
@@ -50,6 +54,8 @@ class GreedyState:
     # ------------------------------------------------------------------
     def gain(self, v: int) -> float:
         """Marginal gain of adding node ``v`` (Algorithms 2 and 4)."""
+        if self.tracer.enabled:
+            self.tracer.incr("oracle.gain_calls")
         if self.in_set[v]:
             return 0.0
         g = self.deficit[v]
@@ -110,6 +116,10 @@ class GreedyState:
         executor partitions across processes.
         """
         csr = self.csr
+        if self.tracer.enabled:
+            self.tracer.incr(
+                "oracle.batch_evaluations", csr.n_items - self.size
+            )
         # Per-edge contribution of source u to the gain of destination v.
         source_outside = ~self.in_set[csr.in_src]
         if self.variant is Variant.INDEPENDENT:

@@ -42,7 +42,9 @@ from typing import Callable, Iterable, Optional
 
 import numpy as np
 
+from .._compat import keyword_only_shim
 from ..errors import SolverError
+from ..observability import NULL_TRACER, coerce_tracer
 from .csr import CSRGraph, as_csr
 from .gain import GreedyState
 from .result import SolveResult
@@ -55,16 +57,18 @@ STRATEGIES = ("auto", "naive", "lazy", "accelerated")
 IterationCallback = Callable[[int, int, float, float], None]
 
 
+@keyword_only_shim("k", "variant")
 def greedy_solve(
     graph,
+    *,
     k: int,
     variant: "Variant | str",
-    *,
     strategy: str = "auto",
     parallel: Optional["ParallelGainEvaluator"] = None,  # noqa: F821
     callback: Optional[IterationCallback] = None,
     must_retain: Optional[Iterable] = None,
     exclude: Optional[Iterable] = None,
+    tracer=None,
 ) -> SolveResult:
     """Solve ``IPC_k`` / ``NPC_k`` with the greedy algorithm.
 
@@ -82,6 +86,14 @@ def greedy_solve(
             positions of the solution and count toward ``k``.
         exclude: items that may never be retained (recalled or delisted
             products).  They can still be *covered* by alternatives.
+        tracer: a :class:`repro.observability.SolverTrace` recording one
+            ``iteration`` event per selection with the chosen item, its
+            marginal gain, the running cover and per-strategy counters.
+            ``None`` (the default) disables tracing at ~zero cost.
+
+    All parameters after ``graph`` are keyword-only; the legacy
+    positional order ``greedy_solve(graph, k, variant, ...)`` still
+    works but emits a :class:`DeprecationWarning`.
 
     The constrained run remains a greedy maximization of the same
     monotone submodular function over the free items, so the classic
@@ -92,6 +104,7 @@ def greedy_solve(
         A :class:`SolveResult` with the retained items in selection order,
         the achieved cover, the coverage array ``I`` and per-prefix covers.
     """
+    tracer = coerce_tracer(tracer)
     variant = Variant.coerce(variant)
     csr = as_csr(graph)
     n = csr.n_items
@@ -132,8 +145,15 @@ def greedy_solve(
             f"items"
         )
 
-    state = GreedyState(csr, variant)
+    state = GreedyState(csr, variant, tracer=tracer)
     prefix_covers = np.zeros(k + 1, dtype=np.float64)
+    if tracer.enabled:
+        tracer.event(
+            "solve.start", solver="greedy", strategy=strategy,
+            variant=variant.value, k=k, n_items=n,
+            n_seeded=int(seed_indices.size),
+            n_excluded=int(exclude_indices.size),
+        )
     start = time.perf_counter()
 
     for node in seed_indices.tolist():
@@ -144,18 +164,27 @@ def greedy_solve(
     if strategy == "naive":
         evaluations = _run_naive(
             state, remaining, prefix_covers, parallel, callback,
-            forbidden=forbidden,
+            forbidden=forbidden, tracer=tracer,
         )
     elif strategy == "lazy":
         evaluations = _run_lazy(
-            state, remaining, prefix_covers, callback, forbidden=forbidden
+            state, remaining, prefix_covers, callback, forbidden=forbidden,
+            tracer=tracer,
         )
     else:
         evaluations = _run_accelerated(
-            state, remaining, prefix_covers, callback, forbidden=forbidden
+            state, remaining, prefix_covers, callback, forbidden=forbidden,
+            tracer=tracer,
         )
 
     elapsed = time.perf_counter() - start
+    if tracer.enabled:
+        tracer.incr("solver.gain_evaluations", evaluations)
+        tracer.event(
+            "solve.end", solver="greedy", strategy=strategy,
+            cover=float(state.cover), wall_time_s=elapsed,
+            gain_evaluations=evaluations,
+        )
     indices = state.retained_indices()
     return SolveResult(
         variant=variant,
@@ -172,11 +201,13 @@ def greedy_solve(
     )
 
 
+@keyword_only_shim("variant")
 def greedy_order(
     graph,
-    variant: "Variant | str",
     *,
+    variant: "Variant | str",
     strategy: str = "auto",
+    tracer=None,
 ) -> SolveResult:
     """Run the greedy to exhaustion (``k = n``).
 
@@ -184,7 +215,9 @@ def greedy_order(
     Section 3.2) and directly powers the complementary threshold solver.
     """
     csr = as_csr(graph)
-    return greedy_solve(csr, csr.n_items, variant, strategy=strategy)
+    return greedy_solve(
+        csr, k=csr.n_items, variant=variant, strategy=strategy, tracer=tracer
+    )
 
 
 # ----------------------------------------------------------------------
@@ -197,6 +230,7 @@ def _run_naive(
     parallel,
     callback: Optional[IterationCallback],
     forbidden: Optional[np.ndarray] = None,
+    tracer=NULL_TRACER,
 ) -> int:
     """Algorithm 1 verbatim: full gain recomputation each iteration."""
     n = state.csr.n_items
@@ -216,6 +250,13 @@ def _run_naive(
         prefix_covers[state.size] = state.cover
         if callback is not None:
             callback(iteration, best, gain, state.cover)
+        if tracer.enabled:
+            tracer.incr("naive.gains_evaluated", n - state.size + 1)
+            tracer.iteration(
+                iteration, item=state.csr.items[best], node=best,
+                gain=gain, cover=float(state.cover), strategy="naive",
+                gains_evaluated=n - state.size + 1,
+            )
     return evaluations
 
 
@@ -225,6 +266,7 @@ def _run_lazy(
     prefix_covers: np.ndarray,
     callback: Optional[IterationCallback],
     forbidden: Optional[np.ndarray] = None,
+    tracer=NULL_TRACER,
 ) -> int:
     """CELF lazy greedy.
 
@@ -248,12 +290,16 @@ def _run_lazy(
     last_eval = np.full(n, state.size, dtype=np.int64)
 
     for iteration in range(k):
+        heap_pops = 0
+        reevaluations = 0
         while True:
             neg_gain, v = heapq.heappop(heap)
+            heap_pops += 1
             if last_eval[v] == state.size:
                 break
             fresh = state.gain(v)
             evaluations += 1
+            reevaluations += 1
             last_eval[v] = state.size
             heapq.heappush(heap, (-fresh, v))
         gain = -neg_gain
@@ -261,6 +307,15 @@ def _run_lazy(
         prefix_covers[state.size] = state.cover
         if callback is not None:
             callback(iteration, v, gain, state.cover)
+        if tracer.enabled:
+            tracer.incr("lazy.heap_pops", heap_pops)
+            tracer.incr("lazy.reevaluations", reevaluations)
+            tracer.observe("lazy.reevaluations_per_iteration", reevaluations)
+            tracer.iteration(
+                iteration, item=state.csr.items[v], node=int(v),
+                gain=gain, cover=float(state.cover), strategy="lazy",
+                heap_pops=heap_pops, reevaluations=reevaluations,
+            )
     return evaluations
 
 
@@ -269,6 +324,7 @@ def accelerated_step(
     gains: np.ndarray,
     force: Optional[int] = None,
     forbidden: Optional[np.ndarray] = None,
+    tracer=NULL_TRACER,
 ) -> tuple:
     """One iteration of the accelerated greedy: select, commit, patch gains.
 
@@ -325,6 +381,7 @@ def accelerated_step(
             gains[out_dst] -= out_w * csr.node_weight[best]
 
     # (3) in-neighbors' deficits shrank.
+    fanout = 0
     if u_nodes.size:
         if variant is Variant.INDEPENDENT:
             delta = u_weights * u_deficit_before  # deficit reduction
@@ -334,6 +391,7 @@ def accelerated_step(
             starts = csr.out_ptr[u_nodes]
             counts = csr.out_ptr[u_nodes + 1] - starts
             total = int(counts.sum())
+            fanout = total
             if total:
                 offsets = np.repeat(
                     starts - np.concatenate(([0], np.cumsum(counts)[:-1])),
@@ -350,6 +408,14 @@ def accelerated_step(
             np.add.at(gains, u_nodes, -delta)
 
     gains[best] = -np.inf
+    if tracer.enabled:
+        # Width of the incremental patch: the retired entry itself, the
+        # out-neighbor updates, the in-neighbor self terms and (under
+        # Independent) the two-hop fanout targets.
+        width = 1 + int(out_dst.size) + int(u_nodes.size) + fanout
+        tracer.incr("accelerated.gain_updates", width)
+        tracer.observe("accelerated.update_width", width)
+        tracer.stash(updated_gains=width)
     return best, gain
 
 
@@ -359,15 +425,21 @@ def _run_accelerated(
     prefix_covers: np.ndarray,
     callback: Optional[IterationCallback],
     forbidden: Optional[np.ndarray] = None,
+    tracer=NULL_TRACER,
 ) -> int:
     """Incrementally-maintained gain array (see :func:`accelerated_step`)."""
     gains = prepare_accelerated_gains(state, forbidden)
     evaluations = state.csr.n_items
     for iteration in range(k):
-        best, gain = accelerated_step(state, gains)
+        best, gain = accelerated_step(state, gains, tracer=tracer)
         prefix_covers[state.size] = state.cover
         if callback is not None:
             callback(iteration, best, gain, state.cover)
+        if tracer.enabled:
+            tracer.iteration(
+                iteration, item=state.csr.items[best], node=best,
+                gain=gain, cover=float(state.cover), strategy="accelerated",
+            )
     return evaluations
 
 

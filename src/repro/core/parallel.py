@@ -32,6 +32,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..errors import SolverError
+from ..observability import coerce_tracer
 from .csr import CSRGraph, as_csr
 from .gain import GreedyState
 from .variants import Variant
@@ -77,11 +78,14 @@ class ParallelGainEvaluator:
         graph,
         variant: "Variant | str",
         n_workers: int = 2,
+        *,
+        tracer=None,
     ) -> None:
         if n_workers < 1:
             raise SolverError(f"n_workers must be >= 1, got {n_workers}")
         self.csr = as_csr(graph)
         self.variant = Variant.coerce(variant)
+        self.tracer = coerce_tracer(tracer)
         self.n_workers = n_workers
         self._synced = 0
         self._conns: List = []
@@ -179,18 +183,37 @@ class ParallelGainEvaluator:
         """
         if not self._started:
             self.start()
+        tracer = self.tracer
         new_nodes = state.order[self._synced:]
         self._synced = len(state.order)
         if self.n_workers <= 1 or not self._conns:
             return state.gains_all()
+        round_start = time.perf_counter()
         if new_nodes:
             for conn in self._conns:
                 conn.send(("add", list(new_nodes)))
         for conn in self._conns:
             conn.send(("gains",))
         gains = np.empty(self.csr.n_items, dtype=np.float64)
-        for conn, (lo, hi) in zip(self._conns, self._bounds):
-            gains[lo:hi] = conn.recv()
+        if tracer.enabled:
+            # Sequential drain: each wait measures how long the slowest-
+            # so-far worker kept the merge step blocked.
+            for index, (conn, (lo, hi)) in enumerate(
+                zip(self._conns, self._bounds)
+            ):
+                wait_start = time.perf_counter()
+                gains[lo:hi] = conn.recv()
+                tracer.observe(
+                    f"parallel.worker{index}.recv_s",
+                    time.perf_counter() - wait_start,
+                )
+            tracer.incr("parallel.rounds")
+            tracer.observe(
+                "parallel.round_s", time.perf_counter() - round_start
+            )
+        else:
+            for conn, (lo, hi) in zip(self._conns, self._bounds):
+                gains[lo:hi] = conn.recv()
         return gains
 
 
@@ -255,7 +278,7 @@ def calibrate_cost_model(
     from .greedy import greedy_solve  # local import to avoid a cycle
 
     start = time.perf_counter()
-    greedy_solve(csr, k, variant, strategy="naive", callback=record)
+    greedy_solve(csr, k=k, variant=variant, strategy="naive", callback=record)
     elapsed = time.perf_counter() - start
     work = np.asarray(work_per_iteration, dtype=np.float64)
     total = float(work.sum())

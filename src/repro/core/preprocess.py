@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 import numpy as np
 
+from .._compat import keyword_only_shim
 from ..errors import SolverError
 from .csr import as_csr
 from .gain import GreedyState
@@ -97,13 +98,15 @@ def prune_candidates(
     )
 
 
+@keyword_only_shim("k", "variant")
 def pruned_greedy_solve(
     graph,
+    *,
     k: int,
     variant: "Variant | str",
-    *,
     epsilon: float = 1e-4,
     strategy: str = "auto",
+    tracer=None,
 ):
     """Convenience: prune, then solve with the survivors as candidates.
 
@@ -124,7 +127,8 @@ def pruned_greedy_solve(
             csr, variant, epsilon=epsilon, keep_at_least=k
         )
     result = greedy_solve(
-        csr, k, variant, strategy=strategy,
+        csr, k=k, variant=variant, strategy=strategy,
         exclude=plan.excluded_indices if plan.n_excluded else None,
+        tracer=tracer,
     )
     return result, plan

@@ -13,6 +13,7 @@ from typing import Dict, Hashable, List, Optional
 import numpy as np
 
 from ..errors import SolverError
+from ..observability import Telemetry
 from .variants import Variant
 
 
@@ -40,6 +41,10 @@ class SolveResult:
         wall_time_s: wall-clock solve time in seconds.
         gain_evaluations: number of marginal-gain oracle calls (lazy
             strategies perform far fewer than ``n * k``).
+        telemetry: observability payload (metrics registry plus the
+            optional per-iteration trace) attached by the
+            :func:`repro.solve` facade; ``None`` when the solver ran
+            un-instrumented.
     """
 
     variant: Variant
@@ -53,6 +58,7 @@ class SolveResult:
     strategy: str = ""
     wall_time_s: float = 0.0
     gain_evaluations: int = 0
+    telemetry: Optional[Telemetry] = None
 
     # ------------------------------------------------------------------
     def item_coverage(self, node_weight: np.ndarray) -> np.ndarray:

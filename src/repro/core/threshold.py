@@ -15,7 +15,9 @@ import time
 
 import numpy as np
 
+from .._compat import keyword_only_shim
 from ..errors import SolverError
+from ..observability import coerce_tracer
 from .csr import as_csr
 from .gain import GreedyState
 from .greedy import accelerated_step, prepare_accelerated_gains
@@ -23,10 +25,13 @@ from .result import SolveResult
 from .variants import Variant
 
 
+@keyword_only_shim("threshold", "variant")
 def greedy_threshold_solve(
     graph,
+    *,
     threshold: float,
     variant: "Variant | str",
+    tracer=None,
 ) -> SolveResult:
     """Smallest greedy set whose cover reaches ``threshold``.
 
@@ -40,13 +45,19 @@ def greedy_threshold_solve(
     through floating-point shortfall, since retaining all items covers
     everything).
     """
+    tracer = coerce_tracer(tracer)
     variant = Variant.coerce(variant)
     if not (0.0 <= threshold <= 1.0):
         raise SolverError(f"threshold must be in [0, 1], got {threshold}")
     csr = as_csr(graph)
     n = csr.n_items
-    state = GreedyState(csr, variant)
+    state = GreedyState(csr, variant, tracer=tracer)
     prefix_covers = [0.0]
+    if tracer.enabled:
+        tracer.event(
+            "solve.start", solver="greedy-threshold",
+            variant=variant.value, threshold=threshold, n_items=n,
+        )
     start = time.perf_counter()
 
     gains = prepare_accelerated_gains(state)
@@ -56,10 +67,23 @@ def greedy_threshold_solve(
                 f"threshold {threshold} unreachable: cover of the full "
                 f"catalog is {state.cover:.12f}"
             )
-        accelerated_step(state, gains)
+        best, gain = accelerated_step(state, gains, tracer=tracer)
         prefix_covers.append(state.cover)
+        if tracer.enabled:
+            tracer.iteration(
+                state.size - 1, item=csr.items[best], node=best,
+                gain=gain, cover=float(state.cover),
+                strategy="greedy-threshold",
+            )
 
     elapsed = time.perf_counter() - start
+    if tracer.enabled:
+        tracer.incr("solver.gain_evaluations", n)
+        tracer.event(
+            "solve.end", solver="greedy-threshold",
+            cover=float(state.cover), wall_time_s=elapsed,
+            retained=state.size,
+        )
     indices = state.retained_indices()
     return SolveResult(
         variant=variant,

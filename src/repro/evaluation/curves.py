@@ -65,7 +65,7 @@ def coverage_curve(
     orderings: Dict[str, np.ndarray] = {}
     greedy_prefix: Optional[np.ndarray] = None
     if "greedy" in algorithms:
-        full = greedy_order(csr, variant)
+        full = greedy_order(csr, variant=variant)
         orderings["greedy"] = full.retained_indices
         greedy_prefix = full.prefix_covers
     if "topk-weight" in algorithms:
@@ -82,7 +82,8 @@ def coverage_curve(
                 row[name] = float(greedy_prefix[k])
             elif name == "random":
                 row[name] = random_solve(
-                    csr, k, variant, seed=seed, draws=random_draws
+                    csr, k=k, variant=variant, seed=seed,
+                    draws=random_draws,
                 ).cover
             else:
                 row[name] = cover(csr, orderings[name][:k], variant)
@@ -106,7 +107,9 @@ def threshold_curve(
     csr = as_csr(graph)
     rows = []
     for threshold in thresholds:
-        greedy = greedy_threshold_solve(csr, threshold, variant)
+        greedy = greedy_threshold_solve(
+            csr, threshold=threshold, variant=variant
+        )
         row = {
             "threshold": threshold,
             "greedy": greedy.k,
@@ -114,10 +117,10 @@ def threshold_curve(
         }
         if include_baselines:
             row["topk-weight"] = top_k_weight_threshold(
-                csr, threshold, variant
+                csr, threshold=threshold, variant=variant
             ).k
             row["topk-coverage"] = top_k_coverage_threshold(
-                csr, threshold, variant
+                csr, threshold=threshold, variant=variant
             ).k
         rows.append(row)
     return rows
@@ -136,7 +139,7 @@ def marginal_gain_profile(
     ``k`` (default ``n``).
     """
     csr = as_csr(graph)
-    result = greedy_order(csr, variant)
+    result = greedy_order(csr, variant=variant)
     gains = np.diff(result.prefix_covers)
     if k is not None:
         gains = gains[:k]

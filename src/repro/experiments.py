@@ -46,8 +46,8 @@ def table1_measured_rows(
         worst = 1.0
         for seed in seeds:
             graph = small_dense_graph(n, variant="normalized", seed=seed)
-            optimal = brute_force_solve(graph, k, "normalized").cover
-            achieved = greedy_solve(graph, k, "normalized").cover
+            optimal = brute_force_solve(graph, k=k, variant="normalized").cover
+            achieved = greedy_solve(graph, k=k, variant="normalized").cover
             if optimal > 0:
                 worst = min(worst, achieved / optimal)
         best, method = best_known_ratio(k, n)
@@ -93,9 +93,9 @@ def fig4a_rows(
     graph = build_preference_graph(stream, "normalized")
     rows = []
     for k in k_values:
-        greedy = greedy_solve(graph, k, "normalized")
+        greedy = greedy_solve(graph, k=k, variant="normalized")
         optimal = brute_force_solve(
-            graph, k, "normalized", max_subsets=max_subsets
+            graph, k=k, variant="normalized", max_subsets=max_subsets
         )
         rows.append(
             {
@@ -124,8 +124,8 @@ def fig4a_milp_rows(
     )
     rows = []
     for k in k_values:
-        exact = milp_solve_npc(graph, k)
-        greedy = greedy_solve(graph, k, "normalized")
+        exact = milp_solve_npc(graph, k=k)
+        greedy = greedy_solve(graph, k=k, variant="normalized")
         rows.append(
             {
                 "k": k,
@@ -151,11 +151,11 @@ def fig4b_rows(
         )
         k = n // 2
         start = time.perf_counter()
-        greedy = greedy_solve(graph, k, "normalized")
+        greedy = greedy_solve(graph, k=k, variant="normalized")
         greedy_time = time.perf_counter() - start
         start = time.perf_counter()
         exact = brute_force_solve(
-            graph, k, "normalized", max_subsets=100_000_000
+            graph, k=k, variant="normalized", max_subsets=100_000_000
         )
         bf_time = time.perf_counter() - start
         rows.append(
@@ -196,13 +196,16 @@ def fig4c_rows(
         rows.append(
             {
                 "k/n": fraction,
-                "Greedy": greedy_solve(graph, k, "independent").cover,
-                "TopK-W": top_k_weight_solve(graph, k, "independent").cover,
+                "Greedy": greedy_solve(graph, k=k, variant="independent").cover,
+                "TopK-W": top_k_weight_solve(
+                    graph, k=k, variant="independent"
+                ).cover,
                 "TopK-C": top_k_coverage_solve(
-                    graph, k, "independent"
+                    graph, k=k, variant="independent"
                 ).cover,
                 "Random": random_solve(
-                    graph, k, "independent", seed=random_seed, draws=10
+                    graph, k=k, variant="independent", seed=random_seed,
+                    draws=10,
                 ).cover,
             }
         )
@@ -225,11 +228,11 @@ def fig4d_rows(
         k = n // k_divisor
         start = time.perf_counter()
         accelerated = greedy_solve(
-            graph, k, "independent", strategy="accelerated"
+            graph, k=k, variant="independent", strategy="accelerated"
         )
         accel_time = time.perf_counter() - start
         start = time.perf_counter()
-        greedy_solve(graph, k, "independent", strategy="lazy")
+        greedy_solve(graph, k=k, variant="independent", strategy="lazy")
         lazy_time = time.perf_counter() - start
         rows.append(
             {
@@ -278,16 +281,18 @@ def fig4f_rows(
         graph = build_preference_graph(stream, "independent").to_csr()
     rows = []
     for threshold in thresholds:
-        greedy = greedy_threshold_solve(graph, threshold, "independent")
+        greedy = greedy_threshold_solve(
+            graph, threshold=threshold, variant="independent"
+        )
         rows.append(
             {
                 "threshold": threshold,
                 "Greedy_items": greedy.k,
                 "TopK-W_items": top_k_weight_threshold(
-                    graph, threshold, "independent"
+                    graph, threshold=threshold, variant="independent"
                 ).k,
                 "TopK-C_items": top_k_coverage_threshold(
-                    graph, threshold, "independent"
+                    graph, threshold=threshold, variant="independent"
                 ).k,
                 "greedy_cover": greedy.cover,
             }

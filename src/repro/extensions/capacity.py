@@ -18,11 +18,13 @@ from typing import Hashable, Iterable, Mapping, Union
 
 import numpy as np
 
+from .._compat import keyword_only_shim
 from ..core.csr import CSRGraph, as_csr
 from ..core.gain import GreedyState
 from ..core.result import SolveResult
 from ..core.variants import Variant
 from ..errors import SolverError
+from ..observability import coerce_tracer
 
 CostLike = Union[Mapping[Hashable, float], np.ndarray]
 
@@ -54,12 +56,18 @@ def _greedy_under_budget(
     budget: float,
     *,
     per_cost: bool,
-) -> GreedyState:
-    """One greedy pass; scores are gain or gain/cost, skipping unaffordable."""
+) -> tuple:
+    """One greedy pass; scores are gain or gain/cost, skipping unaffordable.
+
+    Returns ``(state, evaluations)`` where ``evaluations`` counts the
+    marginal-gain computations the pass performed.
+    """
     state = GreedyState(csr, variant)
     remaining = budget
+    evaluations = 0
     while True:
         gains = state.gains_all()
+        evaluations += csr.n_items - state.size
         affordable = (~state.in_set) & (cost <= remaining + 1e-12)
         if not affordable.any():
             break
@@ -70,21 +78,27 @@ def _greedy_under_budget(
             break
         state.add_node(best)
         remaining -= float(cost[best])
-    return state
+    return state, evaluations
 
 
+@keyword_only_shim("budget", "variant", "costs")
 def capacity_greedy_solve(
     graph,
+    *,
     budget: float,
     variant: "Variant | str",
     costs: CostLike,
+    tracer=None,
 ) -> SolveResult:
     """Cost-benefit greedy under a storage budget.
 
     Runs the plain-gain and gain-per-cost greedy passes and returns the
     better cover.  ``SolveResult.k`` reports the number of retained
-    items; the spent budget is derivable from the costs.
+    items; the spent budget is derivable from the costs.  The result is
+    populated exactly like ``greedy_solve``'s (``prefix_covers``,
+    ``wall_time_s`` and ``gain_evaluations`` included).
     """
+    tracer = coerce_tracer(tracer)
     variant = Variant.coerce(variant)
     csr = as_csr(graph)
     cost = _cost_vector(csr, costs)
@@ -93,20 +107,45 @@ def capacity_greedy_solve(
 
     import time
 
+    if tracer.enabled:
+        tracer.event(
+            "solve.start", solver="capacity-greedy",
+            variant=variant.value, budget=budget, n_items=csr.n_items,
+        )
     start = time.perf_counter()
-    plain = _greedy_under_budget(csr, variant, cost, budget, per_cost=False)
-    ratio = _greedy_under_budget(csr, variant, cost, budget, per_cost=True)
+    plain, plain_evals = _greedy_under_budget(
+        csr, variant, cost, budget, per_cost=False
+    )
+    ratio, ratio_evals = _greedy_under_budget(
+        csr, variant, cost, budget, per_cost=True
+    )
     winner = plain if plain.cover >= ratio.cover else ratio
     label = "plain-gain" if winner is plain else "gain-per-cost"
-    elapsed = time.perf_counter() - start
+    evaluations = plain_evals + ratio_evals
 
     indices = winner.retained_indices()
     prefix = np.zeros(len(indices) + 1, dtype=np.float64)
     # Reconstruct prefix covers by replaying the order (cheap, O(kD)).
     replay = GreedyState(csr, variant)
     for position, node in enumerate(indices.tolist()):
-        replay.add_node(node)
+        gained = replay.add_node(node)
         prefix[position + 1] = replay.cover
+        if tracer.enabled:
+            tracer.iteration(
+                position, item=csr.items[node], node=int(node),
+                gain=float(gained), cover=float(replay.cover),
+                strategy="capacity-greedy", pass_won=label,
+                cost=float(cost[node]),
+            )
+    elapsed = time.perf_counter() - start
+    if tracer.enabled:
+        tracer.incr("solver.gain_evaluations", evaluations)
+        tracer.event(
+            "solve.end", solver="capacity-greedy", pass_won=label,
+            cover=float(winner.cover), wall_time_s=elapsed,
+            retained=int(winner.size),
+            budget_spent=float(cost[indices].sum()),
+        )
     return SolveResult(
         variant=variant,
         k=int(winner.size),
@@ -118,6 +157,7 @@ def capacity_greedy_solve(
         prefix_covers=prefix,
         strategy=f"capacity-greedy({label})",
         wall_time_s=elapsed,
+        gain_evaluations=evaluations,
     )
 
 

@@ -31,6 +31,7 @@ from ..core.greedy import accelerated_step, prepare_accelerated_gains
 from ..core.result import SolveResult
 from ..core.variants import Variant
 from ..errors import SolverError, UnknownItemError
+from ..observability import coerce_tracer
 
 
 class IncrementalSolver:
@@ -53,6 +54,7 @@ class IncrementalSolver:
         variant: "Variant | str",
         *,
         tolerance: float = 1e-12,
+        tracer=None,
     ) -> None:
         if not isinstance(graph, PreferenceGraph):
             raise SolverError(
@@ -63,6 +65,7 @@ class IncrementalSolver:
         self.k = k
         self.variant = Variant.coerce(variant)
         self.tolerance = tolerance
+        self.tracer = coerce_tracer(tracer)
         self._previous_order: Optional[List[Hashable]] = None
         self.last_reused_prefix = 0
         self.last_result: Optional[SolveResult] = None
@@ -118,8 +121,9 @@ class IncrementalSolver:
         if k < 0 or k > n:
             raise SolverError(f"k={k} out of range [0, {n}]")
 
+        tracer = self.tracer
         start = time.perf_counter()
-        state = GreedyState(csr, self.variant)
+        state = GreedyState(csr, self.variant, tracer=tracer)
         gains = prepare_accelerated_gains(state)
         prefix_covers = np.zeros(k + 1, dtype=np.float64)
         reused = 0
@@ -139,15 +143,34 @@ class IncrementalSolver:
                 )
                 if gains[candidate] + self.tolerance < best_gain:
                     break  # no longer a maximum-gain choice
-                accelerated_step(state, gains, force=candidate)
+                accelerated_step(state, gains, force=candidate, tracer=tracer)
                 prefix_covers[state.size] = state.cover
                 reused += 1
+                if tracer.enabled:
+                    tracer.iteration(
+                        state.size - 1, item=item, node=candidate,
+                        cover=float(state.cover),
+                        strategy="greedy-incremental", reused=True,
+                    )
 
         while state.size < k:
-            accelerated_step(state, gains)
+            best, gain = accelerated_step(state, gains, tracer=tracer)
             prefix_covers[state.size] = state.cover
+            if tracer.enabled:
+                tracer.iteration(
+                    state.size - 1, item=csr.items[best], node=best,
+                    gain=gain, cover=float(state.cover),
+                    strategy="greedy-incremental", reused=False,
+                )
 
         elapsed = time.perf_counter() - start
+        if tracer.enabled:
+            tracer.incr("incremental.reused_prefix", reused)
+            tracer.event(
+                "solve.end", solver="greedy-incremental",
+                cover=float(state.cover), wall_time_s=elapsed,
+                reused_prefix=reused,
+            )
         indices = state.retained_indices()
         result = SolveResult(
             variant=self.variant,

@@ -17,20 +17,24 @@ from typing import Dict, Hashable, Mapping, Optional
 
 import numpy as np
 
+from .._compat import keyword_only_shim
 from ..core.csr import as_csr
 from ..core.gain import GreedyState
 from ..core.result import SolveResult
 from ..core.variants import Variant
 from ..errors import SolverError, UnknownItemError
+from ..observability import coerce_tracer
 
 
+@keyword_only_shim("variant", "categories", "quotas")
 def quota_greedy_solve(
     graph,
+    *,
     variant: "Variant | str",
     categories: Mapping[Hashable, Hashable],
     quotas: Mapping[Hashable, int],
-    *,
     k: Optional[int] = None,
+    tracer=None,
 ) -> SolveResult:
     """Greedy Preference Cover with per-category ceilings.
 
@@ -48,6 +52,7 @@ def quota_greedy_solve(
     Returns a :class:`SolveResult`; ``result.k`` is the number actually
     retained (the quotas may bind before ``k`` is reached).
     """
+    tracer = coerce_tracer(tracer)
     variant = Variant.coerce(variant)
     csr = as_csr(graph)
     n = csr.n_items
@@ -79,10 +84,15 @@ def quota_greedy_solve(
     if k < 0 or k > n:
         raise SolverError(f"k={k} out of range [0, {n}]")
 
-    state = GreedyState(csr, variant)
+    state = GreedyState(csr, variant, tracer=tracer)
     gains = state.gains_all()
     blocked = np.zeros(n, dtype=bool)
     prefix_covers = [0.0]
+    if tracer.enabled:
+        tracer.event(
+            "solve.start", solver="quota-greedy", variant=variant.value,
+            k=k, n_items=n, n_quota_categories=len(remaining),
+        )
     start = time.perf_counter()
 
     while state.size < k:
@@ -93,12 +103,20 @@ def quota_greedy_solve(
         category = category_of[best]
         if category in remaining and remaining[category] <= 0:
             blocked[best] = True
+            if tracer.enabled:
+                tracer.incr("quota.blocked_candidates")
             continue
         # Commit via the shared accelerated bookkeeping.
         from ..core.greedy import accelerated_step
 
-        accelerated_step(state, gains, force=best)
+        _, gain = accelerated_step(state, gains, force=best, tracer=tracer)
         prefix_covers.append(state.cover)
+        if tracer.enabled:
+            tracer.iteration(
+                state.size - 1, item=csr.items[best], node=best,
+                gain=gain, cover=float(state.cover),
+                strategy="quota-greedy", category=str(category),
+            )
         if category in remaining:
             remaining[category] -= 1
             if remaining[category] <= 0:
@@ -106,7 +124,15 @@ def quota_greedy_solve(
                 blocked |= np.asarray(
                     [category_of[i] == category for i in range(n)]
                 )
+                if tracer.enabled:
+                    tracer.incr("quota.categories_exhausted")
     elapsed = time.perf_counter() - start
+    if tracer.enabled:
+        tracer.incr("solver.gain_evaluations", n)
+        tracer.event(
+            "solve.end", solver="quota-greedy", cover=float(state.cover),
+            wall_time_s=elapsed, retained=state.size,
+        )
 
     indices = state.retained_indices()
     return SolveResult(

@@ -17,10 +17,12 @@ summing to 1 only up to normalization, which scaling also preserves.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Hashable, Iterable, Mapping, Union
 
 import numpy as np
 
+from .._compat import keyword_only_shim
 from ..core.csr import CSRGraph, as_csr
 from ..core.greedy import greedy_solve
 from ..core.result import SolveResult
@@ -76,35 +78,29 @@ def _in_dst(csr: CSRGraph) -> np.ndarray:
     )
 
 
+@keyword_only_shim("k", "variant", "revenues")
 def revenue_greedy_solve(
     graph,
+    *,
     k: int,
     variant: "Variant | str",
     revenues: RevenueLike,
-    *,
     strategy: str = "auto",
+    tracer=None,
 ) -> SolveResult:
     """Greedy maximization of expected revenue under a size budget.
 
     Returns a :class:`SolveResult` whose ``cover`` field holds the
     expected revenue ``R(S)`` (not a probability) and whose ``coverage``
-    array holds per-item expected revenue contributions.
+    array holds per-item expected revenue contributions; all other
+    fields (``prefix_covers``, ``wall_time_s``, ``gain_evaluations``)
+    are populated exactly as by ``greedy_solve``.
     """
     scaled = revenue_scaled_graph(graph, revenues)
-    result = greedy_solve(scaled, k, variant, strategy=strategy)
-    return SolveResult(
-        variant=result.variant,
-        k=result.k,
-        retained=result.retained,
-        retained_indices=result.retained_indices,
-        cover=result.cover,
-        coverage=result.coverage,
-        item_ids=result.item_ids,
-        prefix_covers=result.prefix_covers,
-        strategy=f"revenue-{result.strategy}",
-        wall_time_s=result.wall_time_s,
-        gain_evaluations=result.gain_evaluations,
+    result = greedy_solve(
+        scaled, k=k, variant=variant, strategy=strategy, tracer=tracer
     )
+    return dataclasses.replace(result, strategy=f"revenue-{result.strategy}")
 
 
 def expected_revenue(

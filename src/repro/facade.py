@@ -1,0 +1,204 @@
+"""The unified solver entry point: :func:`repro.solve`.
+
+The package grew one ``*_solve`` function per problem flavor (budget,
+threshold, storage capacity, category quotas, revenue objective,
+retain/exclude constraints), each with its own signature.  ``solve()``
+is the single facade over all of them: one keyword-only signature, one
+dispatch table, and one place where observability is wired in — every
+call returns a :class:`~repro.core.result.SolveResult` with a
+:class:`~repro.observability.Telemetry` payload attached to
+``result.telemetry`` (stage timings always; per-iteration events when
+a :class:`~repro.observability.SolverTrace` is passed).
+
+Dispatch rules::
+
+    solve(g, variant=v, k=10)                          -> greedy_solve
+    solve(g, variant=v, threshold=0.9)                 -> greedy_threshold_solve
+    solve(g, variant=v, k=10,
+          constraints={"must_retain": [...],
+                       "exclude": [...]})              -> constrained greedy
+    solve(g, variant=v,
+          constraints={"budget": 3.5, "costs": {...}}) -> capacity_greedy_solve
+    solve(g, variant=v, k=10,
+          constraints={"categories": {...},
+                       "quotas": {...}})               -> quota_greedy_solve
+    solve(g, variant=v, k=10,
+          objective={"revenue": {...}})                -> revenue_greedy_solve
+
+Exactly one of ``k`` / ``threshold`` / ``constraints["budget"]`` must
+select the stopping rule; conflicting combinations raise
+:class:`~repro.errors.SolverError` instead of silently preferring one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Optional
+
+from .core.greedy import greedy_solve
+from .core.threshold import greedy_threshold_solve
+from .core.variants import Variant
+from .errors import SolverError
+from .observability import MetricsRegistry, SolverTrace, Telemetry
+
+#: Constraint keys understood by :func:`solve`.
+CONSTRAINT_KEYS = (
+    "must_retain", "exclude", "budget", "costs", "categories", "quotas",
+)
+
+#: Objective keys understood by :func:`solve`.
+OBJECTIVE_KEYS = ("revenue",)
+
+
+def _check_mapping(name: str, value, allowed) -> dict:
+    """Validate an option mapping and return a mutable copy."""
+    if value is None:
+        return {}
+    if not isinstance(value, Mapping):
+        raise SolverError(
+            f"{name} must be a mapping with keys from {allowed}, "
+            f"got {type(value).__name__}"
+        )
+    unknown = set(value) - set(allowed)
+    if unknown:
+        raise SolverError(
+            f"unknown {name} key(s) {sorted(unknown)}; expected a subset "
+            f"of {allowed}"
+        )
+    return dict(value)
+
+
+def solve(
+    graph,
+    *,
+    variant: "Variant | str",
+    k: Optional[int] = None,
+    threshold: Optional[float] = None,
+    strategy: str = "auto",
+    constraints: Optional[Mapping] = None,
+    objective: Optional[Mapping] = None,
+    tracer: Optional[SolverTrace] = None,
+):
+    """Solve a Preference Cover problem through one unified entry point.
+
+    Args:
+        graph: ``PreferenceGraph`` or ``CSRGraph``.
+        variant: ``"independent"`` / ``"normalized"`` / ``Variant``.
+        k: retained-set size budget (maximization objective).
+        threshold: cover target (complementary minimization).  Mutually
+            exclusive with ``k``.
+        strategy: greedy execution strategy (``auto`` / ``naive`` /
+            ``lazy`` / ``accelerated``); forwarded to the solvers that
+            support it.
+        constraints: optional mapping with any of
+            ``must_retain`` / ``exclude`` (item lists),
+            ``budget`` + ``costs`` (storage knapsack), or
+            ``categories`` + ``quotas`` (partition matroid).
+        objective: optional mapping; ``{"revenue": revenues}`` switches
+            the objective from cover to expected revenue.
+        tracer: a :class:`~repro.observability.SolverTrace` for
+            per-iteration events; ``None`` records stage timings only.
+
+    Returns:
+        :class:`~repro.core.result.SolveResult` with
+        ``result.telemetry`` attached.
+
+    Raises:
+        SolverError: conflicting or missing stopping rules
+            (``k`` *and* ``threshold``, neither, or ``budget`` mixed
+            with either), threshold runs with constraints, unknown
+            constraint/objective keys.
+    """
+    variant = Variant.coerce(variant)
+    options = _check_mapping("constraints", constraints, CONSTRAINT_KEYS)
+    goal = _check_mapping("objective", objective, OBJECTIVE_KEYS)
+
+    metrics = tracer.metrics if tracer is not None else MetricsRegistry()
+    telemetry = Telemetry(metrics=metrics, trace=tracer)
+
+    must_retain = options.pop("must_retain", None)
+    exclude = options.pop("exclude", None)
+    budget = options.pop("budget", None)
+    costs = options.pop("costs", None)
+    categories = options.pop("categories", None)
+    quotas = options.pop("quotas", None)
+    revenues = goal.pop("revenue", None)
+
+    if k is not None and threshold is not None:
+        raise SolverError(
+            "k and threshold are mutually exclusive: k bounds the "
+            "retained-set size (maximization) while threshold sets a "
+            "cover target (minimization); provide exactly one"
+        )
+    if (budget is None) != (costs is None):
+        raise SolverError(
+            "the capacity constraint needs both 'budget' and 'costs'"
+        )
+    if (categories is None) != (quotas is None):
+        raise SolverError(
+            "the quota constraint needs both 'categories' and 'quotas'"
+        )
+    if budget is not None and (k is not None or threshold is not None):
+        raise SolverError(
+            "the storage budget replaces k/threshold; provide only "
+            "constraints={'budget': ..., 'costs': ...}"
+        )
+    if budget is None and k is None and threshold is None:
+        raise SolverError(
+            "provide a stopping rule: k, threshold, or "
+            "constraints={'budget': ..., 'costs': ...}"
+        )
+    if threshold is not None and (
+        must_retain is not None or exclude is not None
+        or categories is not None or revenues is not None
+    ):
+        raise SolverError(
+            "threshold solves support no constraints or alternative "
+            "objectives; use k instead"
+        )
+    if revenues is not None and (categories is not None or budget is not None):
+        raise SolverError(
+            "the revenue objective composes only with k and "
+            "must_retain/exclude-free runs for now"
+        )
+
+    with metrics.time("facade.solve"):
+        if budget is not None:
+            from .extensions.capacity import capacity_greedy_solve
+
+            result = capacity_greedy_solve(
+                graph, budget=budget, variant=variant, costs=costs,
+                tracer=tracer,
+            )
+        elif threshold is not None:
+            result = greedy_threshold_solve(
+                graph, threshold=threshold, variant=variant, tracer=tracer
+            )
+        elif revenues is not None:
+            from .extensions.revenue import revenue_greedy_solve
+
+            result = revenue_greedy_solve(
+                graph, k=k, variant=variant, revenues=revenues,
+                strategy=strategy, tracer=tracer,
+            )
+        elif categories is not None:
+            from .extensions.quotas import quota_greedy_solve
+
+            if must_retain is not None or exclude is not None:
+                raise SolverError(
+                    "quota constraints do not compose with "
+                    "must_retain/exclude yet"
+                )
+            result = quota_greedy_solve(
+                graph, variant=variant, categories=categories,
+                quotas=quotas, k=k, tracer=tracer,
+            )
+        else:
+            result = greedy_solve(
+                graph, k=k, variant=variant, strategy=strategy,
+                must_retain=must_retain, exclude=exclude, tracer=tracer,
+            )
+
+    metrics.incr("facade.calls")
+    metrics.incr(f"facade.dispatch.{result.strategy}")
+    return dataclasses.replace(result, telemetry=telemetry)

@@ -1,0 +1,39 @@
+"""Dependency-free solver observability: metrics, traces, telemetry.
+
+The subsystem has two halves:
+
+* :class:`MetricsRegistry` — named counters, timers and histograms;
+* :class:`SolverTrace` — an ordered per-iteration/per-stage event
+  stream that owns a registry, with JSONL export.
+
+Solvers accept any tracer-shaped object; the default
+:data:`NULL_TRACER` (an instance of :class:`NullTracer`) makes every
+recording call a no-op so un-instrumented runs pay ~zero cost.  The
+facade :func:`repro.solve` wires a tracer through the dispatch and
+attaches the resulting :class:`Telemetry` to ``SolveResult.telemetry``.
+
+See ``docs/observability.md`` for the event schema and metric names.
+"""
+
+from .metrics import Counter, Histogram, MetricsRegistry, Timer
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    SolverTrace,
+    Telemetry,
+    TraceEvent,
+    coerce_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SolverTrace",
+    "Telemetry",
+    "Timer",
+    "TraceEvent",
+    "coerce_tracer",
+]

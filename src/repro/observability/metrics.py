@@ -1,0 +1,260 @@
+"""Counters, timers and histograms for solver instrumentation.
+
+:class:`MetricsRegistry` is a flat, name-keyed collection of three
+instrument kinds:
+
+* **counters** — monotonically accumulated totals (gain evaluations,
+  heap pops, sessions parsed);
+* **timers** — accumulated wall-clock duration plus call count, fed
+  either explicitly or through the ``time()`` context manager;
+* **histograms** — streaming summaries (count / min / max / mean /
+  sum) of per-observation values such as per-iteration update widths
+  or per-worker receive latencies.  Only the summary statistics are
+  retained, so a histogram costs O(1) memory no matter how many values
+  it absorbs.
+
+Everything here is dependency-free standard-library code so the
+instrumentation layer can be imported from the innermost solver loops
+without widening the package's import graph.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def incr(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be fractional, must not be negative)."""
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value:g})"
+
+
+class Timer:
+    """Accumulated wall-clock duration with a call count."""
+
+    __slots__ = ("name", "total_s", "count")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total_s = 0.0
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        """Record one timed interval of ``seconds``."""
+        self.total_s += seconds
+        self.count += 1
+
+    @contextmanager
+    def time(self) -> Iterator["Timer"]:
+        """Context manager recording the enclosed block's duration."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.record(time.perf_counter() - start)
+
+    @property
+    def mean_s(self) -> float:
+        """Mean seconds per recorded interval (0 when never recorded)."""
+        return self.total_s / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Timer({self.name}: total={self.total_s:.6f}s "
+            f"count={self.count})"
+        )
+
+
+class Histogram:
+    """Streaming summary statistics of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}: count={self.count} "
+            f"mean={self.mean:g})"
+        )
+
+
+class MetricsRegistry:
+    """A named collection of counters, timers and histograms.
+
+    Instruments are created on first use (``registry.counter("x")``)
+    and shared by name afterwards; the convenience methods ``incr`` /
+    ``observe`` / ``record_time`` do the lookup inline so call sites
+    stay one-liners.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._timers: Dict[str, Timer] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access ---------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        try:
+            return self._counters[name]
+        except KeyError:
+            instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def timer(self, name: str) -> Timer:
+        """The timer registered under ``name`` (created on first use)."""
+        try:
+            return self._timers[name]
+        except KeyError:
+            instrument = self._timers[name] = Timer(name)
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        try:
+            return self._histograms[name]
+        except KeyError:
+            instrument = self._histograms[name] = Histogram(name)
+            return instrument
+
+    # -- one-line recording --------------------------------------------
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counter(name).incr(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into histogram ``name``."""
+        self.histogram(name).observe(value)
+
+    def record_time(self, name: str, seconds: float) -> None:
+        """Record a ``seconds``-long interval on timer ``name``."""
+        self.timer(name).record(seconds)
+
+    def time(self, name: str):
+        """Context manager timing the enclosed block on timer ``name``."""
+        return self.timer(name).time()
+
+    # -- aggregation / export ------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one, by name."""
+        for name, counter in other._counters.items():
+            self.counter(name).incr(counter.value)
+        for name, timer in other._timers.items():
+            mine = self.timer(name)
+            mine.total_s += timer.total_s
+            mine.count += timer.count
+        for name, histogram in other._histograms.items():
+            mine = self.histogram(name)
+            if histogram.count:
+                mine.count += histogram.count
+                mine.total += histogram.total
+                if mine.min is None or (
+                    histogram.min is not None and histogram.min < mine.min
+                ):
+                    mine.min = histogram.min
+                if mine.max is None or (
+                    histogram.max is not None and histogram.max > mine.max
+                ):
+                    mine.max = histogram.max
+
+    def __bool__(self) -> bool:
+        return bool(self._counters or self._timers or self._histograms)
+
+    def to_dict(self) -> Dict:
+        """Plain-python snapshot (stable key order, JSON-serializable)."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "timers": {
+                name: {
+                    "total_s": self._timers[name].total_s,
+                    "count": self._timers[name].count,
+                }
+                for name in sorted(self._timers)
+            },
+            "histograms": {
+                name: {
+                    "count": self._histograms[name].count,
+                    "mean": self._histograms[name].mean,
+                    "min": self._histograms[name].min,
+                    "max": self._histograms[name].max,
+                }
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def to_json(self, **kwargs) -> str:
+        """The :meth:`to_dict` snapshot as a JSON string."""
+        return json.dumps(self.to_dict(), **kwargs)
+
+    def summary(self) -> str:
+        """Human-readable aligned dump of every instrument."""
+        lines = []
+        if self._counters:
+            lines.append("counters:")
+            for name in sorted(self._counters):
+                lines.append(f"  {name:<40s} {self._counters[name].value:g}")
+        if self._timers:
+            lines.append("timers:")
+            for name in sorted(self._timers):
+                timer = self._timers[name]
+                lines.append(
+                    f"  {name:<40s} {timer.total_s:.6f}s "
+                    f"({timer.count} calls)"
+                )
+        if self._histograms:
+            lines.append("histograms:")
+            for name in sorted(self._histograms):
+                histogram = self._histograms[name]
+                lines.append(
+                    f"  {name:<40s} count={histogram.count} "
+                    f"mean={histogram.mean:g} min={histogram.min:g} "
+                    f"max={histogram.max:g}"
+                    if histogram.count
+                    else f"  {name:<40s} (empty)"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"timers={len(self._timers)}, "
+            f"histograms={len(self._histograms)})"
+        )

@@ -1,0 +1,228 @@
+"""Solver trace: an ordered event stream plus the no-op default.
+
+Every solver entry point accepts a ``tracer``.  The default is the
+module-level :data:`NULL_TRACER`, whose methods are empty and whose
+``enabled`` flag is ``False`` — hot loops guard their event
+construction with ``if tracer.enabled:`` so a disabled run pays one
+attribute check per iteration and allocates nothing.
+
+:class:`SolverTrace` records :class:`TraceEvent` rows (monotonically
+increasing ``seq``, seconds since trace start, an event ``kind`` and a
+free-form payload) and owns a
+:class:`~repro.observability.metrics.MetricsRegistry` so one object can
+be threaded through a whole pipeline run.  The event schema emitted by
+the built-in solvers is documented in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from .metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    Attributes:
+        seq: 0-based position in the stream (strictly increasing).
+        t: seconds since the trace was created.
+        kind: event type (``iteration``, ``span``, ``solve.start``, ...).
+        data: event payload (JSON-serializable values expected).
+    """
+
+    seq: int
+    t: float
+    kind: str
+    data: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        """Flat dict form used for JSONL export."""
+        return {"seq": self.seq, "t": self.t, "kind": self.kind, **self.data}
+
+
+class NullTracer:
+    """Do-nothing tracer: the zero-cost default for every solver.
+
+    All recording methods are no-ops and :attr:`enabled` is ``False``;
+    hot loops use that flag to skip event-payload construction
+    entirely.  A single shared instance, :data:`NULL_TRACER`, is used
+    everywhere so disabled runs allocate nothing.
+    """
+
+    enabled = False
+    metrics: Optional[MetricsRegistry] = None
+
+    def event(self, kind: str, **data) -> None:
+        """Record an event (no-op)."""
+
+    def iteration(self, iteration: int, **data) -> None:
+        """Record one greedy iteration (no-op)."""
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Increment a metric counter (no-op)."""
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold a value into a metric histogram (no-op)."""
+
+    def stash(self, **data) -> None:
+        """Attach payload fields to the next iteration event (no-op)."""
+
+    @contextmanager
+    def span(self, name: str, **data) -> Iterator[None]:
+        """Time a named stage (no-op)."""
+        yield
+
+
+#: Shared do-nothing tracer; solvers default to this.
+NULL_TRACER = NullTracer()
+
+
+def coerce_tracer(tracer: Optional[NullTracer]) -> NullTracer:
+    """``None`` -> :data:`NULL_TRACER`; anything else passes through."""
+    return NULL_TRACER if tracer is None else tracer
+
+
+class SolverTrace(NullTracer):
+    """Recording tracer: ordered events plus a metrics registry.
+
+    Args:
+        metrics: registry to record counters/timers/histograms into;
+            a fresh one is created when omitted.
+        max_events: safety valve — recording stops (silently, with the
+            ``solver.trace_dropped`` counter ticking) once this many
+            events are held, so tracing an enormous solve cannot
+            exhaust memory.  ``None`` means unbounded.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        *,
+        max_events: Optional[int] = None,
+    ) -> None:
+        self.events: List[TraceEvent] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.max_events = max_events
+        self._t0 = time.perf_counter()
+        self._pending: Dict = {}
+
+    # -- recording -----------------------------------------------------
+    def event(self, kind: str, **data) -> None:
+        """Append one event to the stream."""
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.metrics.incr("solver.trace_dropped")
+            return
+        self.events.append(
+            TraceEvent(
+                seq=len(self.events),
+                t=time.perf_counter() - self._t0,
+                kind=kind,
+                data=data,
+            )
+        )
+
+    def iteration(self, iteration: int, **data) -> None:
+        """Record one greedy iteration (merges any stashed payload)."""
+        if self._pending:
+            data = {**self._pending, **data}
+            self._pending = {}
+        self.metrics.incr("solver.iterations")
+        self.event("iteration", iteration=iteration, **data)
+
+    def stash(self, **data) -> None:
+        """Buffer payload fields for the next :meth:`iteration` event.
+
+        Lets inner helpers (e.g. the accelerated gain-patch step)
+        contribute fields to the iteration event emitted by the outer
+        loop without changing their return signatures.
+        """
+        self._pending.update(data)
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` on the attached registry."""
+        self.metrics.incr(name, amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into histogram ``name`` on the registry."""
+        self.metrics.observe(name, value)
+
+    @contextmanager
+    def span(self, name: str, **data) -> Iterator[None]:
+        """Time a named stage: one ``span`` event + a ``span.<name>`` timer."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - start
+            self.metrics.record_time(f"span.{name}", duration)
+            self.event("span", name=name, duration_s=duration, **data)
+
+    # -- inspection / export -------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def events_of(self, kind: str) -> List[TraceEvent]:
+        """All recorded events of one kind, in order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def to_jsonl(self) -> str:
+        """The event stream as JSON Lines (one event per line)."""
+        return "\n".join(
+            json.dumps(event.to_dict(), default=str) for event in self.events
+        )
+
+    def write_jsonl(self, path) -> None:
+        """Write the event stream to ``path`` as JSON Lines."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event.to_dict(), default=str))
+                handle.write("\n")
+
+    def summary(self) -> str:
+        """Event-count digest plus the metrics summary."""
+        kinds: Dict[str, int] = {}
+        for event in self.events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        header = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(kinds.items())
+        )
+        return (
+            f"trace: {len(self.events)} events ({header or 'empty'})\n"
+            + self.metrics.summary()
+        )
+
+    def __repr__(self) -> str:
+        return f"SolverTrace(events={len(self.events)})"
+
+
+@dataclass(frozen=True)
+class Telemetry:
+    """Observability payload attached to ``SolveResult.telemetry``.
+
+    Attributes:
+        metrics: the run's metrics registry (always present).
+        trace: the event stream, when tracing was enabled; ``None`` for
+            metrics-only runs.
+    """
+
+    metrics: MetricsRegistry
+    trace: Optional[SolverTrace] = None
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The trace's events (empty list when tracing was disabled)."""
+        return self.trace.events if self.trace is not None else []
+
+    def summary(self) -> str:
+        """Human-readable digest of the attached instrumentation."""
+        if self.trace is not None:
+            return self.trace.summary()
+        return self.metrics.summary()

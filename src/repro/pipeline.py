@@ -28,6 +28,7 @@ from .core.result import SolveResult
 from .core.threshold import greedy_threshold_solve
 from .core.variants import Variant
 from .errors import SolverError
+from .observability import coerce_tracer
 
 
 @dataclass(frozen=True)
@@ -132,6 +133,7 @@ class InventoryReducer:
         strategy: str = "auto",
         must_retain: Optional[list] = None,
         exclude: Optional[list] = None,
+        tracer=None,
     ) -> None:
         if (k is None) == (threshold is None):
             raise SolverError(
@@ -152,13 +154,16 @@ class InventoryReducer:
         self.strategy = strategy
         self.must_retain = list(must_retain) if must_retain else None
         self.exclude = list(exclude) if exclude else None
+        self.tracer = coerce_tracer(tracer)
 
     # ------------------------------------------------------------------
     def run(self, clickstream: Clickstream) -> RetainedInventoryReport:
         """Execute the full Figure 2 flow on a clickstream."""
+        tracer = self.tracer
         recommendation = None
         if self.auto_variant:
-            recommendation = recommend_variant(clickstream)
+            with tracer.span("pipeline.recommend_variant"):
+                recommendation = recommend_variant(clickstream)
             variant = recommendation.variant
         else:
             variant = self.variant
@@ -171,15 +176,18 @@ class InventoryReducer:
                 min_edge_weight=self.min_edge_weight,
             )
         )
-        graph = engine.build_graph(clickstream)
-        graph.validate(variant)
+        with tracer.span("pipeline.build_graph"):
+            graph = engine.build_graph(clickstream, tracer=tracer)
+            graph.validate(variant)
         result = self.solve_graph(graph, variant)
-        return RetainedInventoryReport(
-            variant=variant,
-            recommendation=recommendation,
-            graph=graph,
-            result=result,
-        )
+        with tracer.span("pipeline.report"):
+            report = RetainedInventoryReport(
+                variant=variant,
+                recommendation=recommendation,
+                graph=graph,
+                result=result,
+            )
+        return report
 
     def run_graph(
         self, graph: PreferenceGraph, variant: Union[Variant, str]
@@ -197,11 +205,16 @@ class InventoryReducer:
 
     def solve_graph(self, graph, variant: Variant) -> SolveResult:
         """Dispatch to the fixed-k or threshold solver."""
-        if self.k is not None:
-            k = min(self.k, as_csr(graph).n_items)
-            return greedy_solve(
-                graph, k, variant, strategy=self.strategy,
-                must_retain=self.must_retain, exclude=self.exclude,
+        with self.tracer.span("pipeline.solve"):
+            if self.k is not None:
+                k = min(self.k, as_csr(graph).n_items)
+                return greedy_solve(
+                    graph, k=k, variant=variant, strategy=self.strategy,
+                    must_retain=self.must_retain, exclude=self.exclude,
+                    tracer=self.tracer,
+                )
+            assert self.threshold is not None
+            return greedy_threshold_solve(
+                graph, threshold=self.threshold, variant=variant,
+                tracer=self.tracer,
             )
-        assert self.threshold is not None
-        return greedy_threshold_solve(graph, self.threshold, variant)

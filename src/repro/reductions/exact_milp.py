@@ -28,6 +28,7 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+from .._compat import keyword_only_shim
 from ..core.cover import coverage_vector
 from ..core.csr import as_csr
 from ..core.result import SolveResult
@@ -100,10 +101,11 @@ def milp_solve_vc(
     return selected.tolist(), vc_cover_weight(instance, selected)
 
 
+@keyword_only_shim("k")
 def milp_solve_npc(
     graph,
-    k: int,
     *,
+    k: int,
     time_limit: Optional[float] = None,
 ) -> SolveResult:
     """Exact Normalized Preference Cover via the VC reduction + MILP."""

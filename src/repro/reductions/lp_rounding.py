@@ -33,6 +33,7 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
+from .._compat import keyword_only_shim
 from ..core.cover import coverage_vector
 from ..core.csr import as_csr
 from ..core.result import SolveResult
@@ -186,8 +187,9 @@ def lp_round_vc(
     return selected, vc_cover_weight(instance, selected), lp_value
 
 
+@keyword_only_shim("k", "variant")
 def lp_round_solve(
-    graph, k: int, variant: "Variant | str" = Variant.NORMALIZED
+    graph, *, k: int, variant: "Variant | str" = Variant.NORMALIZED
 ) -> SolveResult:
     """LP-based ``NPC_k`` solver via the Theorem 3.1 reduction.
 

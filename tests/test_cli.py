@@ -82,6 +82,53 @@ class TestBuildGraphAndSolve:
         main(["build-graph", str(stream_file), "-o", str(graph_path)])
         assert "variant selected from data" in capsys.readouterr().out
 
+    def test_solve_rejects_k_and_threshold(
+        self, stream_file, tmp_path, capsys
+    ):
+        graph_path = tmp_path / "graph.json"
+        main(["build-graph", str(stream_file), "--variant", "independent",
+              "-o", str(graph_path)])
+        code = main([
+            "solve", str(graph_path), "--variant", "independent",
+            "-k", "5", "--threshold", "0.5",
+        ])
+        assert code == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_solve_trace_one_event_per_iteration(
+        self, stream_file, tmp_path, capsys
+    ):
+        graph_path = tmp_path / "graph.json"
+        main(["build-graph", str(stream_file), "--variant", "independent",
+              "-o", str(graph_path)])
+        trace_path = tmp_path / "trace.jsonl"
+        code = main([
+            "solve", str(graph_path), "--variant", "independent",
+            "-k", "8", "--trace", str(trace_path), "--metrics",
+        ])
+        assert code == 0
+        events = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        iterations = [e for e in events if e["kind"] == "iteration"]
+        assert len(iterations) == 8
+        assert [e["iteration"] for e in iterations] == list(range(8))
+        assert all("item" in e and "gain" in e for e in iterations)
+        out = capsys.readouterr().out
+        assert "written to" in out
+        assert "solver.iterations" in out  # --metrics summary printed
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
 
 class TestPipelineCommand:
     def test_end_to_end(self, stream_file, tmp_path, capsys):

@@ -1,6 +1,5 @@
 """Tests for must_retain / exclude constraints on the greedy solver."""
 
-import numpy as np
 import pytest
 
 from repro.core.cover import cover

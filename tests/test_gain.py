@@ -6,7 +6,6 @@ import pytest
 from repro.core.cover import cover, coverage_vector
 from repro.core.csr import as_csr
 from repro.core.gain import GreedyState
-from repro.core.variants import Variant
 from repro.errors import SolverError
 
 

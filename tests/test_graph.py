@@ -1,6 +1,5 @@
 """Tests for repro.core.graph.PreferenceGraph."""
 
-import math
 
 import pytest
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.csr import as_csr
 from repro.core.greedy import greedy_solve
 from repro.errors import ClickstreamFormatError
 from repro.graphio import (

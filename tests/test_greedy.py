@@ -7,7 +7,6 @@ from repro.core.bruteforce import brute_force_solve
 from repro.core.cover import cover
 from repro.core.csr import as_csr
 from repro.core.greedy import STRATEGIES, greedy_order, greedy_solve
-from repro.core.variants import Variant
 from repro.errors import SolverError
 from repro.reductions.bounds import greedy_ratio_bound
 from repro.workloads.graphs import small_dense_graph

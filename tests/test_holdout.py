@@ -9,7 +9,6 @@ from repro.core.greedy import greedy_solve
 from repro.core.baselines import random_solve, top_k_weight_solve
 from repro.errors import SolverError
 from repro.evaluation.holdout import (
-    HoldoutReport,
     evaluate_holdout,
     split_clickstream,
 )

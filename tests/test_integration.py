@@ -6,7 +6,6 @@ behavioral validation, plus convergence of the estimated graph to the
 generator's ground truth.
 """
 
-import numpy as np
 import pytest
 
 from repro import (

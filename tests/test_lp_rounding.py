@@ -17,7 +17,6 @@ from repro.reductions.lp_rounding import (
 from repro.reductions.vertex_cover import (
     MaxVertexCoverInstance,
     npc_to_vc,
-    vc_cover_weight,
 )
 from repro.workloads.graphs import small_dense_graph
 

@@ -5,7 +5,7 @@ import pytest
 from repro.clickstream.generator import ConsumerModel, ShopperConfig
 from repro.core.variants import Variant
 from repro.errors import SolverError
-from repro.pipeline import InventoryReducer, RetainedInventoryReport
+from repro.pipeline import InventoryReducer
 
 
 @pytest.fixture
@@ -121,7 +121,6 @@ class TestPipelineQuality:
     def test_pipeline_beats_top_sellers(self, independent_stream):
         # The headline claim, end to end: greedy over the adapted graph
         # covers more than the naive top-selling baseline.
-        from repro.adaptation import build_preference_graph
         from repro.core.baselines import top_k_weight_solve
 
         reducer = InventoryReducer(k=15, variant="independent")

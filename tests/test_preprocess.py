@@ -7,7 +7,6 @@ from repro.core.csr import as_csr
 from repro.core.gain import GreedyState
 from repro.core.greedy import greedy_solve
 from repro.core.preprocess import (
-    PruningPlan,
     candidate_ceilings,
     prune_candidates,
     pruned_greedy_solve,

@@ -1,6 +1,5 @@
 """Tests for the category-quota (partition matroid) extension."""
 
-import numpy as np
 import pytest
 
 from repro.core.cover import cover

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.adaptation.variant_selection import (
-    VariantRecommendation,
     _pair_nmi,
     independence_score,
     normalized_fit,
