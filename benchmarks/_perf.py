@@ -1,0 +1,123 @@
+"""Timing primitives and the ``BENCH_core.json`` trajectory file.
+
+The perf-regression harness (``bench_kernels.py``) measures each series
+as the *median* of several repeats — medians are robust to the one-off
+scheduler hiccups that plague shared CI runners — and records them in a
+machine-readable trajectory file at the repository root.  Every run
+*appends* an entry, so the file accumulates a perf history across PRs
+that future changes can be diffed against.
+
+Schema (``BENCH_core.json``)::
+
+    {
+      "schema": "repro-bench-core/1",
+      "runs": [
+        {
+          "created_at": "2026-08-06T12:00:00Z",
+          "label": "...", "smoke": false,
+          "host": {"python": "3.11.7", "cpus": 1,
+                   "kernel_backends": ["numpy"]},
+          "sizes": {"small": {"n_items": ..., "n_edges": ...},
+                    "large": {...}},
+          "series": {"batch_gain.numpy.small":
+                         {"median_s": ..., "repeats": 5}, ...}
+        }
+      ]
+    }
+
+The newest run is last.  Consumers should key on ``series`` names, which
+follow ``<metric>.<backend-or-strategy>.<size>``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from statistics import median
+from typing import Callable, Dict, List, Optional
+
+#: Trajectory file at the repository root.
+BENCH_CORE_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+SCHEMA = "repro-bench-core/1"
+
+
+def time_median(
+    fn: Callable[[], object],
+    *,
+    repeats: int = 5,
+    warmup: int = 1,
+) -> Dict[str, float]:
+    """Median wall-clock seconds of ``fn()`` over ``repeats`` runs.
+
+    ``warmup`` uncounted calls absorb one-time costs (page faults,
+    JIT compilation for compiled kernel backends) so the medians
+    measure steady state.
+    """
+    for _ in range(warmup):
+        fn()
+    times: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return {
+        "median_s": median(times),
+        "min_s": min(times),
+        "max_s": max(times),
+        "repeats": repeats,
+    }
+
+
+def host_fingerprint(kernel_backends) -> Dict:
+    """Environment details recorded next to every run."""
+    return {
+        "python": platform.python_version(),
+        "cpus": os.cpu_count() or 1,
+        "machine": platform.machine(),
+        "kernel_backends": list(kernel_backends),
+    }
+
+
+def load_trajectory(path: Optional[Path] = None) -> Dict:
+    """Read the trajectory file, or an empty skeleton when absent."""
+    path = path or BENCH_CORE_PATH
+    if not path.exists():
+        return {"schema": SCHEMA, "runs": []}
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("schema") != SCHEMA or not isinstance(data.get("runs"), list):
+        raise ValueError(
+            f"{path} is not a {SCHEMA} trajectory file"
+        )
+    return data
+
+
+def append_run(
+    series: Dict[str, Dict],
+    *,
+    sizes: Dict[str, Dict],
+    kernel_backends,
+    label: str = "",
+    smoke: bool = False,
+    path: Optional[Path] = None,
+) -> Dict:
+    """Append one run to the trajectory file and return the run row."""
+    path = path or BENCH_CORE_PATH
+    data = load_trajectory(path)
+    run = {
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "label": label,
+        "smoke": bool(smoke),
+        "host": host_fingerprint(kernel_backends),
+        "sizes": sizes,
+        "series": series,
+    }
+    data["runs"].append(run)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return run

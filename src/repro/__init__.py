@@ -24,12 +24,15 @@ from .core import (
     CSRGraph,
     GreedyState,
     INDEPENDENT,
+    KernelBackend,
     NORMALIZED,
     ParallelGainEvaluator,
     PreferenceGraph,
     SolveResult,
     Variant,
     as_csr,
+    available_backends,
+    get_kernels,
     brute_force_solve,
     cover,
     coverage_vector,
@@ -84,6 +87,7 @@ __all__ = [
     "GraphValidationError",
     "GreedyState",
     "INDEPENDENT",
+    "KernelBackend",
     "MetricsRegistry",
     "NORMALIZED",
     "NullTracer",
@@ -97,9 +101,11 @@ __all__ = [
     "UnknownItemError",
     "Variant",
     "as_csr",
+    "available_backends",
     "brute_force_solve",
     "cover",
     "coverage_vector",
+    "get_kernels",
     "greedy_order",
     "greedy_solve",
     "greedy_threshold_solve",

@@ -104,6 +104,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         constraints=constraints or None,
         tracer=tracer,
+        workers=args.workers,
+        parallel_backend=args.parallel_backend,
+        kernels=args.kernels,
     )
     print(f"cover C(S) = {result.cover:.6f} with {len(result.retained)} items")
     for rank, item in enumerate(result.retained[: args.show], start=1):
@@ -274,6 +277,19 @@ def build_parser() -> argparse.ArgumentParser:
     solve_cmd.add_argument("-k", type=int, default=None)
     solve_cmd.add_argument("--threshold", type=float, default=None)
     solve_cmd.add_argument("--strategy", default="auto")
+    solve_cmd.add_argument("--workers", type=int, default=None,
+                           help="worker processes for gain evaluation "
+                                "(naive k solves and threshold solves)")
+    solve_cmd.add_argument("--parallel-backend",
+                           choices=["auto", "shm", "pipe", "serial"],
+                           default="auto",
+                           help="worker wire protocol (auto prefers "
+                                "shared memory)")
+    solve_cmd.add_argument("--kernels",
+                           choices=["auto", "numpy", "numba"],
+                           default=None,
+                           help="arithmetic backend for the solver hot "
+                                "loops (default: REPRO_KERNELS or auto)")
     solve_cmd.add_argument("--must-retain", nargs="*", default=[],
                            help="items that must stay in the assortment")
     solve_cmd.add_argument("--exclude", nargs="*", default=[],

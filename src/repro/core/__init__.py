@@ -15,6 +15,12 @@ from .csr import CSRGraph, as_csr
 from .gain import GreedyState
 from .graph import PreferenceGraph
 from .greedy import STRATEGIES, greedy_order, greedy_solve
+from .kernels import (
+    KERNEL_CHOICES,
+    KernelBackend,
+    available_backends,
+    get_kernels,
+)
 from .parallel import (
     ParallelCostModel,
     ParallelGainEvaluator,
@@ -36,6 +42,8 @@ __all__ = [
     "CSRGraph",
     "GreedyState",
     "INDEPENDENT",
+    "KERNEL_CHOICES",
+    "KernelBackend",
     "NORMALIZED",
     "ONE_MINUS_INV_E",
     "ParallelCostModel",
@@ -46,6 +54,8 @@ __all__ = [
     "SolveResult",
     "Variant",
     "as_csr",
+    "available_backends",
+    "get_kernels",
     "brute_force_solve",
     "calibrate_cost_model",
     "check_monotone",

@@ -11,8 +11,10 @@ implements Algorithms 2–5 on top of a :class:`repro.core.csr.CSRGraph`:
 * :meth:`GreedyState.add_node` — Algorithm 3 / Algorithm 5: commit a node,
   updating ``I`` and ``C(S)`` in ``O(in_degree)``.
 
-The inner loops are vectorized over each node's in-edge slice, which is
-the array equivalent of the paper's "foreach u with an edge into v".
+The arithmetic itself lives in :mod:`repro.core.kernels`; the state
+object binds the graph arrays once at construction and dispatches every
+hot call through the selected kernel backend, so swapping the reference
+``numpy`` kernels for compiled ones changes nothing here.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ import numpy as np
 from ..errors import SolverError
 from ..observability import NULL_TRACER
 from .csr import CSRGraph
+from .kernels import KernelBackend, get_kernels
 from .variants import Variant
 
 
@@ -35,14 +38,23 @@ class GreedyState:
     of nodes with ``self.in_set`` true.  ``deficit[v] = W(v) - I[v]`` is
     kept alongside because the Independent gain rule (Algorithm 4, line 3)
     multiplies edge weights by exactly this quantity.
+
+    ``kernels`` selects the arithmetic backend (see
+    :mod:`repro.core.kernels`); the default resolves ``REPRO_KERNELS``.
     """
 
     def __init__(
-        self, csr: CSRGraph, variant: "Variant | str", *, tracer=None
+        self,
+        csr: CSRGraph,
+        variant: "Variant | str",
+        *,
+        tracer=None,
+        kernels: "KernelBackend | str | None" = None,
     ) -> None:
         self.csr = csr
         self.variant = Variant.coerce(variant)
         self.tracer = NULL_TRACER if tracer is None else tracer
+        self.kernels = get_kernels(kernels)
         n = csr.n_items
         self.in_set = np.zeros(n, dtype=bool)
         self.coverage = np.zeros(n, dtype=np.float64)  # the paper's I
@@ -50,28 +62,28 @@ class GreedyState:
         self.cover = 0.0
         self.size = 0
         self.order: list[int] = []
+        # Hot-path bindings: the scalar oracle runs once per CELF heap
+        # re-evaluation, so the per-call constants — the read-only graph
+        # arrays, the variant flag and whether tracing is live at all —
+        # are resolved here instead of on every call.
+        self._independent = self.variant is Variant.INDEPENDENT
+        self._tracing = self.tracer is not NULL_TRACER and self.tracer.enabled
+        self._graph_args = (csr.in_ptr, csr.in_src, csr.in_weight,
+                            csr.node_weight)
+        self._gain_kernel = self.kernels.gain_scalar
+        self._add_kernel = self.kernels.add_node
 
     # ------------------------------------------------------------------
     def gain(self, v: int) -> float:
         """Marginal gain of adding node ``v`` (Algorithms 2 and 4)."""
-        if self.tracer.enabled:
+        if self._tracing:
             self.tracer.incr("oracle.gain_calls")
-        if self.in_set[v]:
-            return 0.0
-        g = self.deficit[v]
-        sources, weights = self.csr.in_edges(v)
-        if sources.size:
-            outside = ~self.in_set[sources]
-            if outside.any():
-                u = sources[outside]
-                w = weights[outside]
-                if self.variant is Variant.INDEPENDENT:
-                    # Algorithm 4 line 3: W(u, v) * (W(u) - I[u])
-                    g += float(np.dot(w, self.deficit[u]))
-                else:
-                    # Algorithm 2 line 3: W(u) * W(u, v)
-                    g += float(np.dot(w, self.csr.node_weight[u]))
-        return float(g)
+        return float(
+            self._gain_kernel(
+                v, *self._graph_args, self.in_set, self.deficit,
+                self._independent,
+            )
+        )
 
     def add_node(self, v: int) -> float:
         """Commit node ``v`` to the retained set (Algorithms 3 and 5).
@@ -81,58 +93,42 @@ class GreedyState:
         """
         if self.in_set[v]:
             raise SolverError(f"node {v} is already retained")
-        gained = self.deficit[v]
-        self.cover += self.deficit[v]
-        self.coverage[v] = self.csr.node_weight[v]
-        self.deficit[v] = 0.0
-        self.in_set[v] = True
-
-        sources, weights = self.csr.in_edges(v)
-        if sources.size:
-            outside = ~self.in_set[sources]
-            if outside.any():
-                u = sources[outside]
-                w = weights[outside]
-                if self.variant is Variant.INDEPENDENT:
-                    delta = w * self.deficit[u]
-                else:
-                    delta = w * self.csr.node_weight[u]
-                self.coverage[u] += delta
-                self.deficit[u] -= delta
-                self.cover += float(delta.sum())
-                gained += float(delta.sum())
+        # The kernel returns only the spill through in-neighbors; the
+        # direct term and the spill are accumulated into ``cover`` as
+        # two separate additions to keep rounding identical to the
+        # pre-kernel implementation.
+        direct = float(self.deficit[v])
+        spill = float(
+            self._add_kernel(
+                v, *self._graph_args, self.in_set, self.coverage,
+                self.deficit, self._independent,
+            )
+        )
+        self.cover += direct
+        self.cover += spill
         self.size += 1
         self.order.append(int(v))
-        return float(gained)
+        return direct + spill
 
     # ------------------------------------------------------------------
     def gains_all(self, candidates: Optional[np.ndarray] = None) -> np.ndarray:
         """Marginal gains of many candidates in one pass.
 
         Semantically ``[self.gain(v) for v in candidates]`` but computed
-        with a single vectorized sweep over the in-edge arrays, which is
-        what makes the naive strategy's per-iteration ``O(n D)`` work
-        tolerable in Python.  This is also the unit of work the parallel
-        executor partitions across processes.
+        by the batch kernel in a single sweep over the in-edge arrays,
+        which is what makes the naive strategy's per-iteration ``O(n D)``
+        work tolerable in Python.  This is also the unit of work the
+        parallel executor partitions across processes.
         """
         csr = self.csr
-        if self.tracer.enabled:
+        if self._tracing:
             self.tracer.incr(
                 "oracle.batch_evaluations", csr.n_items - self.size
             )
-        # Per-edge contribution of source u to the gain of destination v.
-        source_outside = ~self.in_set[csr.in_src]
-        if self.variant is Variant.INDEPENDENT:
-            contrib = csr.in_weight * self.deficit[csr.in_src]
-        else:
-            contrib = csr.in_weight * csr.node_weight[csr.in_src]
-        contrib = np.where(source_outside, contrib, 0.0)
-        # Segment sums over in-edge slices via prefix sums; unlike
-        # reduceat this handles empty slices exactly.
-        prefix = np.concatenate(([0.0], np.cumsum(contrib)))
-        sums = prefix[csr.in_ptr[1:]] - prefix[csr.in_ptr[:-1]]
-        gains = self.deficit + sums
-        gains[self.in_set] = 0.0
+        gains = self.kernels.gains_block(
+            0, csr.n_items, *self._graph_args, self.in_set, self.deficit,
+            self._independent,
+        )
         if candidates is not None:
             return gains[candidates]
         return gains
@@ -146,23 +142,10 @@ class GreedyState:
         that "computations for each node are independent, and can be
         performed in parallel".
         """
-        csr = self.csr
-        edge_lo, edge_hi = csr.in_ptr[lo], csr.in_ptr[hi]
-        src = csr.in_src[edge_lo:edge_hi]
-        wgt = csr.in_weight[edge_lo:edge_hi]
-        source_outside = ~self.in_set[src]
-        if self.variant is Variant.INDEPENDENT:
-            contrib = wgt * self.deficit[src]
-        else:
-            contrib = wgt * csr.node_weight[src]
-        contrib = np.where(source_outside, contrib, 0.0)
-        prefix = np.concatenate(([0.0], np.cumsum(contrib)))
-        starts = csr.in_ptr[lo:hi] - edge_lo
-        ends = csr.in_ptr[lo + 1:hi + 1] - edge_lo
-        sums = prefix[ends] - prefix[starts]
-        gains = self.deficit[lo:hi] + sums
-        gains[self.in_set[lo:hi]] = 0.0
-        return gains
+        return self.kernels.gains_block(
+            lo, hi, *self._graph_args, self.in_set, self.deficit,
+            self._independent,
+        )
 
     def retained_indices(self) -> np.ndarray:
         """Retained nodes in selection order."""

@@ -69,6 +69,7 @@ def greedy_solve(
     must_retain: Optional[Iterable] = None,
     exclude: Optional[Iterable] = None,
     tracer=None,
+    kernels=None,
 ) -> SolveResult:
     """Solve ``IPC_k`` / ``NPC_k`` with the greedy algorithm.
 
@@ -90,6 +91,12 @@ def greedy_solve(
             ``iteration`` event per selection with the chosen item, its
             marginal gain, the running cover and per-strategy counters.
             ``None`` (the default) disables tracing at ~zero cost.
+        kernels: arithmetic backend for the hot loops — a
+            :class:`repro.core.kernels.KernelBackend`, a backend name
+            (``"numpy"`` / ``"numba"`` / ``"auto"``), or ``None`` to
+            consult the ``REPRO_KERNELS`` environment variable.  All
+            backends produce identical selections; see
+            ``docs/performance.md``.
 
     All parameters after ``graph`` are keyword-only; the legacy
     positional order ``greedy_solve(graph, k, variant, ...)`` still
@@ -145,7 +152,7 @@ def greedy_solve(
             f"items"
         )
 
-    state = GreedyState(csr, variant, tracer=tracer)
+    state = GreedyState(csr, variant, tracer=tracer, kernels=kernels)
     prefix_covers = np.zeros(k + 1, dtype=np.float64)
     if tracer.enabled:
         tracer.event(
@@ -208,6 +215,7 @@ def greedy_order(
     variant: "Variant | str",
     strategy: str = "auto",
     tracer=None,
+    kernels=None,
 ) -> SolveResult:
     """Run the greedy to exhaustion (``k = n``).
 
@@ -216,7 +224,8 @@ def greedy_order(
     """
     csr = as_csr(graph)
     return greedy_solve(
-        csr, k=csr.n_items, variant=variant, strategy=strategy, tracer=tracer
+        csr, k=csr.n_items, variant=variant, strategy=strategy,
+        tracer=tracer, kernels=kernels,
     )
 
 
@@ -288,26 +297,36 @@ def _run_lazy(
     heapq.heapify(heap)
     # Set size at evaluation time; seeds make size > 0 initially.
     last_eval = np.full(n, state.size, dtype=np.int64)
+    # The pop/re-evaluate loop below is the CELF hot path: on large
+    # instances it runs orders of magnitude more often than the outer
+    # selection loop, so the per-iteration constants — the bound methods,
+    # the heap primitives and the tracing flag — are hoisted to locals.
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+    fresh_gain = state.gain
+    tracing = tracer is not NULL_TRACER and tracer.enabled
 
     for iteration in range(k):
         heap_pops = 0
         reevaluations = 0
+        size = state.size
         while True:
-            neg_gain, v = heapq.heappop(heap)
+            entry = heappop(heap)
             heap_pops += 1
-            if last_eval[v] == state.size:
+            v = entry[1]
+            if last_eval[v] == size:
                 break
-            fresh = state.gain(v)
-            evaluations += 1
+            fresh = fresh_gain(v)
             reevaluations += 1
-            last_eval[v] = state.size
-            heapq.heappush(heap, (-fresh, v))
-        gain = -neg_gain
+            last_eval[v] = size
+            heappush(heap, (-fresh, v))
+        evaluations += reevaluations
+        gain = -entry[0]
         state.add_node(v)
         prefix_covers[state.size] = state.cover
         if callback is not None:
             callback(iteration, v, gain, state.cover)
-        if tracer.enabled:
+        if tracing:
             tracer.incr("lazy.heap_pops", heap_pops)
             tracer.incr("lazy.reevaluations", reevaluations)
             tracer.observe("lazy.reevaluations_per_iteration", reevaluations)
@@ -386,23 +405,15 @@ def accelerated_step(
         if variant is Variant.INDEPENDENT:
             delta = u_weights * u_deficit_before  # deficit reduction
             np.add.at(gains, u_nodes, -delta)  # self terms
-            # Contributions to every out-neighbor x of each u: gather
-            # all the u's out-edge slices in one vectorized pass.
-            starts = csr.out_ptr[u_nodes]
-            counts = csr.out_ptr[u_nodes + 1] - starts
-            total = int(counts.sum())
-            fanout = total
-            if total:
-                offsets = np.repeat(
-                    starts - np.concatenate(([0], np.cumsum(counts)[:-1])),
-                    counts,
+            # Contributions to every out-neighbor x of each u: the
+            # two-hop scatter is the widest part of the patch, so it is
+            # delegated to the kernel backend.
+            fanout = int(
+                state.kernels.fanout_update(
+                    gains, u_nodes, delta,
+                    csr.out_ptr, csr.out_dst, csr.out_weight,
                 )
-                flat = np.arange(total, dtype=np.int64) + offsets
-                x_dst = csr.out_dst[flat]
-                x_w = csr.out_weight[flat]
-                np.subtract.at(
-                    gains, x_dst, x_w * np.repeat(delta, counts)
-                )
+            )
         else:
             delta = u_weights * csr.node_weight[u_nodes]
             np.add.at(gains, u_nodes, -delta)

@@ -32,6 +32,8 @@ def greedy_threshold_solve(
     threshold: float,
     variant: "Variant | str",
     tracer=None,
+    kernels=None,
+    parallel=None,
 ) -> SolveResult:
     """Smallest greedy set whose cover reaches ``threshold``.
 
@@ -39,6 +41,14 @@ def greedy_threshold_solve(
     greedy ordering (prefix property), but stops as soon as the threshold
     is crossed instead of ordering all ``n`` items — the paper's direct
     approach that avoids the binary-search overhead.
+
+    ``kernels`` selects the arithmetic backend (see
+    :mod:`repro.core.kernels`).  ``parallel`` accepts a
+    :class:`~repro.core.parallel.ParallelGainEvaluator`; when given, each
+    selection recomputes the full gain vector across the pool's workers
+    (the naive recomputation rule) instead of patching it incrementally —
+    same selections, different cost profile, useful on wide graphs where
+    one machine-sized gain sweep dominates.
 
     Raises :class:`SolverError` for thresholds outside ``[0, 1]`` or
     thresholds that even the full catalog cannot reach (possible only
@@ -51,23 +61,31 @@ def greedy_threshold_solve(
         raise SolverError(f"threshold must be in [0, 1], got {threshold}")
     csr = as_csr(graph)
     n = csr.n_items
-    state = GreedyState(csr, variant, tracer=tracer)
+    state = GreedyState(csr, variant, tracer=tracer, kernels=kernels)
     prefix_covers = [0.0]
     if tracer.enabled:
         tracer.event(
             "solve.start", solver="greedy-threshold",
             variant=variant.value, threshold=threshold, n_items=n,
+            parallel=parallel is not None,
         )
     start = time.perf_counter()
 
-    gains = prepare_accelerated_gains(state)
+    gains = None if parallel is not None else prepare_accelerated_gains(state)
     while state.cover < threshold - 1e-12:
         if state.size == n:
             raise SolverError(
                 f"threshold {threshold} unreachable: cover of the full "
                 f"catalog is {state.cover:.12f}"
             )
-        best, gain = accelerated_step(state, gains, tracer=tracer)
+        if parallel is not None:
+            round_gains = parallel.gains(state)
+            round_gains[state.in_set] = -np.inf
+            best = int(np.argmax(round_gains))
+            gain = float(round_gains[best])
+            state.add_node(best)
+        else:
+            best, gain = accelerated_step(state, gains, tracer=tracer)
         prefix_covers.append(state.cover)
         if tracer.enabled:
             tracer.iteration(

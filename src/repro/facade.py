@@ -78,6 +78,9 @@ def solve(
     constraints: Optional[Mapping] = None,
     objective: Optional[Mapping] = None,
     tracer: Optional[SolverTrace] = None,
+    workers: Optional[int] = None,
+    parallel_backend: str = "auto",
+    kernels=None,
 ):
     """Solve a Preference Cover problem through one unified entry point.
 
@@ -98,6 +101,19 @@ def solve(
             the objective from cover to expected revenue.
         tracer: a :class:`~repro.observability.SolverTrace` for
             per-iteration events; ``None`` records stage timings only.
+        workers: spread gain evaluation across this many worker
+            processes.  Applies to naive-strategy ``k`` solves and to
+            threshold solves; with ``strategy="auto"`` and ``workers > 1``
+            the naive (parallelizable) strategy is selected.  Combining
+            ``workers`` with an explicit incremental strategy
+            (``lazy`` / ``accelerated``) raises :class:`SolverError`.
+        parallel_backend: wire protocol for the worker pool — ``auto``
+            (shared memory where available), ``shm``, ``pipe`` or
+            ``serial``; see :class:`~repro.core.parallel.ParallelGainEvaluator`.
+        kernels: arithmetic backend for the solver hot loops (``auto`` /
+            ``numpy`` / ``numba`` or a
+            :class:`~repro.core.kernels.KernelBackend`); ``None``
+            consults the ``REPRO_KERNELS`` environment variable.
 
     Returns:
         :class:`~repro.core.result.SolveResult` with
@@ -107,7 +123,8 @@ def solve(
         SolverError: conflicting or missing stopping rules
             (``k`` *and* ``threshold``, neither, or ``budget`` mixed
             with either), threshold runs with constraints, unknown
-            constraint/objective keys.
+            constraint/objective keys, or ``workers`` combined with a
+            dispatch target that cannot use a worker pool.
     """
     variant = Variant.coerce(variant)
     options = _check_mapping("constraints", constraints, CONSTRAINT_KEYS)
@@ -162,6 +179,31 @@ def solve(
             "must_retain/exclude-free runs for now"
         )
 
+    want_pool = workers is not None and workers > 1
+    if want_pool:
+        if budget is not None or revenues is not None or categories is not None:
+            raise SolverError(
+                "workers applies only to plain k solves "
+                "(strategy='naive') and threshold solves"
+            )
+        if threshold is None:
+            if strategy == "auto":
+                strategy = "naive"  # the parallelizable strategy
+            elif strategy != "naive":
+                raise SolverError(
+                    f"workers={workers} requires strategy='naive' (the "
+                    f"lazy/accelerated strategies are inherently "
+                    f"sequential), got strategy={strategy!r}"
+                )
+
+    def make_pool():
+        from .core.parallel import ParallelGainEvaluator
+
+        return ParallelGainEvaluator(
+            graph, variant, n_workers=workers, backend=parallel_backend,
+            tracer=tracer, kernels=kernels,
+        )
+
     with metrics.time("facade.solve"):
         if budget is not None:
             from .extensions.capacity import capacity_greedy_solve
@@ -171,9 +213,17 @@ def solve(
                 tracer=tracer,
             )
         elif threshold is not None:
-            result = greedy_threshold_solve(
-                graph, threshold=threshold, variant=variant, tracer=tracer
-            )
+            if want_pool:
+                with make_pool() as pool:
+                    result = greedy_threshold_solve(
+                        graph, threshold=threshold, variant=variant,
+                        tracer=tracer, kernels=kernels, parallel=pool,
+                    )
+            else:
+                result = greedy_threshold_solve(
+                    graph, threshold=threshold, variant=variant,
+                    tracer=tracer, kernels=kernels,
+                )
         elif revenues is not None:
             from .extensions.revenue import revenue_greedy_solve
 
@@ -193,10 +243,18 @@ def solve(
                 graph, variant=variant, categories=categories,
                 quotas=quotas, k=k, tracer=tracer,
             )
+        elif want_pool:
+            with make_pool() as pool:
+                result = greedy_solve(
+                    graph, k=k, variant=variant, strategy=strategy,
+                    must_retain=must_retain, exclude=exclude,
+                    tracer=tracer, kernels=kernels, parallel=pool,
+                )
         else:
             result = greedy_solve(
                 graph, k=k, variant=variant, strategy=strategy,
                 must_retain=must_retain, exclude=exclude, tracer=tracer,
+                kernels=kernels,
             )
 
     metrics.incr("facade.calls")

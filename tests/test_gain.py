@@ -146,3 +146,43 @@ class TestGainsRange:
     def test_empty_range(self, small_graph, variant):
         state = GreedyState(as_csr(small_graph), variant)
         assert state.gains_range(5, 5).size == 0
+
+    def test_empty_range_after_partial_solve(self, small_graph, variant):
+        state = GreedyState(as_csr(small_graph), variant)
+        for v in (0, 3):
+            state.add_node(v)
+        for lo in (0, 7, state.csr.n_items):
+            block = state.gains_range(lo, lo)
+            assert block.shape == (0,)
+
+    def test_isolated_nodes_block(self, variant):
+        # Nodes 2..4 have no in-edges: their gain is exactly their own
+        # deficit, and the block evaluation must not read neighboring
+        # edge slices.
+        from repro.core.csr import CSRGraph
+
+        csr = CSRGraph.from_arrays(
+            np.array([0.3, 0.3, 0.2, 0.1, 0.1]),
+            np.array([1]),
+            np.array([0]),
+            np.array([0.5]),
+        )
+        state = GreedyState(csr, variant)
+        np.testing.assert_allclose(state.gains_range(2, 5), [0.2, 0.1, 0.1])
+        state.add_node(3)
+        np.testing.assert_allclose(state.gains_range(2, 5), [0.2, 0.0, 0.1])
+
+    def test_matches_full_after_partial_solve(self, medium_graph, variant):
+        from repro.core.greedy import greedy_solve
+
+        csr = as_csr(medium_graph)
+        result = greedy_solve(csr, k=12, variant=variant, strategy="naive")
+        state = GreedyState(csr, variant)
+        for v in result.retained_indices.tolist():
+            state.add_node(v)
+        full = state.gains_all()
+        n = csr.n_items
+        for lo, hi in [(0, n), (0, 1), (n - 1, n), (123, 457)]:
+            np.testing.assert_allclose(
+                state.gains_range(lo, hi), full[lo:hi], atol=1e-12
+            )

@@ -1,5 +1,7 @@
 """Tests for parallel gain evaluation and the work-span cost model."""
 
+import multiprocessing as mp
+
 import numpy as np
 import pytest
 
@@ -12,32 +14,73 @@ from repro.core.parallel import (
     calibrate_cost_model,
     speedup_curve,
 )
+from repro.core.threshold import greedy_threshold_solve
 from repro.errors import SolverError
+
+BACKENDS = ("shm", "pipe")
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request) -> str:
+    """Parametrize a test over both wire protocols."""
+    return request.param
 
 
 class TestParallelGainEvaluator:
-    def test_matches_serial_gains(self, medium_graph, variant):
+    def test_matches_serial_gains(self, medium_graph, variant, backend):
         csr = as_csr(medium_graph)
-        with ParallelGainEvaluator(csr, variant, n_workers=3) as pool:
+        with ParallelGainEvaluator(
+            csr, variant, n_workers=3, backend=backend
+        ) as pool:
+            assert pool.backend == backend
             state = GreedyState(csr, variant)
             np.testing.assert_allclose(
                 pool.gains(state), state.gains_all(), atol=1e-12
             )
-            # After committing nodes, replicas must stay in sync.
+            # After committing nodes, workers must observe the new state.
             state.add_node(5)
             state.add_node(99)
             np.testing.assert_allclose(
                 pool.gains(state), state.gains_all(), atol=1e-12
             )
 
-    def test_full_solve_same_solution(self, medium_graph, variant):
+    def test_full_solve_same_solution(self, medium_graph, variant, backend):
         serial = greedy_solve(medium_graph, 20, variant, strategy="naive")
-        with ParallelGainEvaluator(medium_graph, variant, n_workers=2) as pool:
+        with ParallelGainEvaluator(
+            medium_graph, variant, n_workers=2, backend=backend
+        ) as pool:
             parallel = greedy_solve(
                 medium_graph, 20, variant, strategy="naive", parallel=pool
             )
         assert parallel.retained == serial.retained
         assert parallel.cover == pytest.approx(serial.cover, abs=1e-12)
+
+    def test_threshold_solve_same_solution(self, medium_graph, variant,
+                                           backend):
+        serial = greedy_threshold_solve(
+            medium_graph, threshold=0.55, variant=variant
+        )
+        with ParallelGainEvaluator(
+            medium_graph, variant, n_workers=3, backend=backend
+        ) as pool:
+            parallel = greedy_threshold_solve(
+                medium_graph, threshold=0.55, variant=variant, parallel=pool
+            )
+        assert parallel.retained == serial.retained
+        assert parallel.k == serial.k
+        assert parallel.cover == pytest.approx(serial.cover, abs=1e-12)
+
+    def test_auto_prefers_shared_memory(self, small_graph, variant):
+        pool = ParallelGainEvaluator(small_graph, variant, n_workers=2)
+        assert pool.backend in ("shm", "pipe", "serial")
+        if "fork" in mp.get_all_start_methods():
+            assert pool.backend == "shm"
+
+    def test_unknown_backend_rejected(self, small_graph):
+        with pytest.raises(SolverError, match="parallel backend"):
+            ParallelGainEvaluator(
+                small_graph, "independent", n_workers=2, backend="zeromq"
+            )
 
     def test_single_worker_is_serial(self, small_graph, variant):
         pool = ParallelGainEvaluator(small_graph, variant, n_workers=1)
@@ -60,11 +103,80 @@ class TestParallelGainEvaluator:
         for (_, hi), (lo, _) in zip(cuts, cuts[1:]):
             assert hi == lo  # contiguous, non-overlapping
 
-    def test_close_is_idempotent(self, small_graph, variant):
-        pool = ParallelGainEvaluator(small_graph, variant, n_workers=2)
+    def test_close_is_idempotent(self, small_graph, variant, backend):
+        pool = ParallelGainEvaluator(
+            small_graph, variant, n_workers=2, backend=backend
+        )
         pool.start()
         pool.close()
         pool.close()
+        assert pool._shm_blocks == []
+
+
+class TestWorkerCleanup:
+    """Error paths must never leak worker processes or shared segments."""
+
+    def _assert_no_children(self, procs):
+        for proc in procs:
+            proc.join(timeout=5)
+            assert not proc.is_alive()
+
+    def test_worker_error_raises_and_reaps(self, medium_graph, variant,
+                                           backend):
+        csr = as_csr(medium_graph)
+        pool = ParallelGainEvaluator(
+            csr, variant, n_workers=2, backend=backend
+        )
+        pool.start()
+        procs = list(pool._procs)
+        assert procs
+        # Poke the protocol with garbage: the worker reports the failure
+        # instead of dying silently, and the parent tears the pool down.
+        if backend == "shm":
+            pool._conns[0].send_bytes(b"garbage")
+        else:
+            pool._conns[0].send(("garbage",))
+        state = GreedyState(csr, variant)
+        with pytest.raises(SolverError, match="worker"):
+            pool.gains(state)
+        assert pool._procs == []
+        assert pool._shm_blocks == []
+        self._assert_no_children(procs)
+
+    def test_exit_reaps_after_midsolve_exception(self, medium_graph,
+                                                 variant, backend):
+        csr = as_csr(medium_graph)
+        procs = []
+        with pytest.raises(RuntimeError, match="mid-solve"):
+            with ParallelGainEvaluator(
+                csr, variant, n_workers=2, backend=backend
+            ) as pool:
+                pool.gains(GreedyState(csr, variant))
+                procs = list(pool._procs)
+                assert procs
+                raise RuntimeError("mid-solve failure")
+        self._assert_no_children(procs)
+        assert pool._procs == []
+        assert pool._shm_blocks == []
+
+    def test_incompatible_state_raises_and_reaps(self, variant, backend):
+        from repro.workloads.graphs import random_preference_graph
+
+        big = random_preference_graph(300, variant=variant, seed=1)
+        small = random_preference_graph(50, variant=variant, seed=2)
+        pool = ParallelGainEvaluator(
+            small, variant, n_workers=2, backend=backend
+        )
+        pool.start()
+        procs = list(pool._procs)
+        state = GreedyState(as_csr(big), variant)
+        state.add_node(200)  # out of range for the pool's 50-node graph
+        with pytest.raises(SolverError):
+            # A state over a different graph cannot be evaluated; the
+            # failure must be a SolverError, not a hang or a leak.
+            pool.gains(state)
+        self._assert_no_children(procs)
+        assert pool._procs == []
 
 
 class TestCostModel:
