@@ -10,6 +10,9 @@ Commands mirror the system architecture:
   (fixed ``k`` or coverage ``--threshold``).
 * ``pipeline``    — the end-to-end Figure 2 flow from a clickstream file.
 * ``stats``       — dataset/graph statistics (Table 2-style).
+* ``check``       — correctness harnesses; ``--differential`` proves all
+  strategy x backend combinations select identical sets on random
+  instances (CI runs it at ``--smoke`` size).
 """
 
 from __future__ import annotations
@@ -198,6 +201,35 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    if not args.differential:
+        print(
+            "error: nothing to check; pass --differential",
+            file=sys.stderr,
+        )
+        return 2
+    from .evaluation.differential import run_differential
+
+    instances = args.instances
+    max_items = args.max_items
+    if args.smoke:
+        instances = instances if instances is not None else 6
+        max_items = max_items if max_items is not None else 60
+    else:
+        instances = instances if instances is not None else 50
+        max_items = max_items if max_items is not None else 140
+    report = run_differential(
+        instances=instances,
+        max_items=max_items,
+        workers=args.workers,
+        seed=args.seed,
+        kernels=args.kernels,
+        log=print if args.verbose else None,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     if args.graph:
         from .core.stats import graph_stats
@@ -329,6 +361,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="retained item ids (alternative to --result)")
     audit.add_argument("--top", type=int, default=10)
     audit.set_defaults(func=_cmd_audit)
+
+    check = sub.add_parser(
+        "check",
+        help="correctness harnesses (differential strategy x backend)",
+    )
+    check.add_argument("--differential", action="store_true",
+                       help="run the differential correctness harness")
+    check.add_argument("--smoke", action="store_true",
+                       help="CI-sized sweep (fewer/smaller instances)")
+    check.add_argument("--instances", type=int, default=None,
+                       help="random instances per variant "
+                            "(default: 50, or 6 with --smoke)")
+    check.add_argument("--max-items", type=int, default=None,
+                       help="largest instance size "
+                            "(default: 140, or 60 with --smoke)")
+    check.add_argument("--workers", type=int, default=2,
+                       help="worker processes per parallel pool")
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument("--kernels",
+                       choices=["auto", "numpy", "numba"],
+                       default=None,
+                       help="kernel backend forwarded to every solver")
+    check.add_argument("--verbose", action="store_true",
+                       help="print one progress line per instance")
+    check.set_defaults(func=_cmd_check)
 
     stats = sub.add_parser("stats", help="dataset statistics")
     stats.add_argument("--clickstream", default=None)

@@ -19,7 +19,9 @@ hot call through the selected kernel backend, so swapping the reference
 
 from __future__ import annotations
 
-from typing import Optional
+import struct
+import zlib
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -28,6 +30,24 @@ from ..observability import NULL_TRACER
 from .csr import CSRGraph
 from .kernels import KernelBackend, get_kernels
 from .variants import Variant
+
+
+def order_digest(order: Sequence[int], start: int = 0) -> int:
+    """CRC-32 digest of a selection order (little-endian int64 stream).
+
+    The digest of ``order[:i]`` extended by ``order[i]`` equals
+    ``zlib.crc32(pack(order[i]), digest_of_prefix)``, so
+    :class:`GreedyState` can maintain its own digest in O(1) per
+    :meth:`~GreedyState.add_node` while verifiers recompute prefixes
+    from scratch.  Used by the parallel evaluator's epoch-stamped
+    protocol to prove that a worker replica holds *exactly* the same
+    selection prefix as the parent state — an equal epoch (length)
+    alone cannot distinguish two different selections of equal size.
+    """
+    digest = start
+    for node in order:
+        digest = zlib.crc32(struct.pack("<q", int(node)), digest)
+    return digest
 
 
 class GreedyState:
@@ -62,6 +82,11 @@ class GreedyState:
         self.cover = 0.0
         self.size = 0
         self.order: list[int] = []
+        # Epoch-stamped state protocol (see repro.core.parallel): the
+        # epoch counts committed AddNode calls and the digest fingerprints
+        # the exact selection order, so replicas can prove synchrony.
+        self.epoch = 0
+        self.order_digest = 0
         # Hot-path bindings: the scalar oracle runs once per CELF heap
         # re-evaluation, so the per-call constants — the read-only graph
         # arrays, the variant flag and whether tracing is live at all —
@@ -108,6 +133,10 @@ class GreedyState:
         self.cover += spill
         self.size += 1
         self.order.append(int(v))
+        self.epoch += 1
+        self.order_digest = zlib.crc32(
+            struct.pack("<q", int(v)), self.order_digest
+        )
         return direct + spill
 
     # ------------------------------------------------------------------

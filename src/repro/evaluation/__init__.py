@@ -13,6 +13,12 @@ from .curves import (
     marginal_gain_profile,
     threshold_curve,
 )
+from .differential import (
+    DifferentialFailure,
+    DifferentialReport,
+    compare_results,
+    run_differential,
+)
 from .holdout import HoldoutReport, evaluate_holdout, split_clickstream
 from .metrics import (
     approximation_ratio,
@@ -30,6 +36,10 @@ __all__ = [
     "HoldoutReport",
     "evaluate_holdout",
     "split_clickstream",
+    "DifferentialFailure",
+    "DifferentialReport",
+    "compare_results",
+    "run_differential",
     "InventoryAudit",
     "LoadBearingRow",
     "LostDemandRow",

@@ -36,6 +36,7 @@ import dataclasses
 from typing import Mapping, Optional
 
 from .core.greedy import greedy_solve
+from .core.parallel import PARALLEL_BACKENDS
 from .core.threshold import greedy_threshold_solve
 from .core.variants import Variant
 from .errors import SolverError
@@ -123,10 +124,22 @@ def solve(
         SolverError: conflicting or missing stopping rules
             (``k`` *and* ``threshold``, neither, or ``budget`` mixed
             with either), threshold runs with constraints, unknown
-            constraint/objective keys, or ``workers`` combined with a
-            dispatch target that cannot use a worker pool.
+            constraint/objective keys, an unknown ``parallel_backend``
+            (validated eagerly, even when no pool is built), an explicit
+            ``strategy`` on a threshold solve with ``workers > 1``
+            (which would otherwise be silently ignored), or ``workers``
+            combined with a dispatch target that cannot use a worker
+            pool.
     """
     variant = Variant.coerce(variant)
+    # Validate eagerly rather than deferring to ParallelGainEvaluator:
+    # with workers unset (or <= 1) no pool is ever built, and a typo'd
+    # backend would otherwise be accepted silently.
+    if parallel_backend not in PARALLEL_BACKENDS:
+        raise SolverError(
+            f"unknown parallel backend {parallel_backend!r}; expected one "
+            f"of {PARALLEL_BACKENDS}"
+        )
     options = _check_mapping("constraints", constraints, CONSTRAINT_KEYS)
     goal = _check_mapping("objective", objective, OBJECTIVE_KEYS)
 
@@ -195,6 +208,13 @@ def solve(
                     f"lazy/accelerated strategies are inherently "
                     f"sequential), got strategy={strategy!r}"
                 )
+        elif strategy != "auto":
+            raise SolverError(
+                f"threshold solves with workers={workers} always use the "
+                f"parallel naive recomputation rule; strategy="
+                f"{strategy!r} would be ignored — drop it or use "
+                f"strategy='auto'"
+            )
 
     def make_pool():
         from .core.parallel import ParallelGainEvaluator

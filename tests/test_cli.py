@@ -173,3 +173,29 @@ class TestErrors:
         code = main(["pipeline", str(empty), "-k", "5"])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_differential_smoke_passes(self, capsys):
+        code = main([
+            "check", "--differential", "--smoke",
+            "--instances", "2", "--max-items", "32",
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "differential:" in captured
+        assert "OK" in captured
+
+    def test_verbose_prints_progress(self, capsys):
+        code = main([
+            "check", "--differential", "--instances", "1",
+            "--max-items", "24", "--verbose",
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "failure(s) so far" in captured
+
+    def test_requires_differential_flag(self, capsys):
+        code = main(["check"])
+        assert code == 2
+        assert "--differential" in capsys.readouterr().err

@@ -182,6 +182,33 @@ class TestValidation:
             solve(small_graph, variant="independent", k=3,
                   constraints={"quotas": {"a": 1}})
 
+    def test_unknown_backend_rejected_without_workers(self, small_graph):
+        # Eager validation: with workers unset no pool is ever built,
+        # but a typo'd backend must still be rejected, not ignored.
+        with pytest.raises(SolverError, match="parallel backend"):
+            solve(small_graph, variant="independent", k=3,
+                  parallel_backend="zeromq")
+
+    def test_unknown_backend_rejected_with_one_worker(self, small_graph):
+        with pytest.raises(SolverError, match="parallel backend"):
+            solve(small_graph, variant="independent", k=3, workers=1,
+                  parallel_backend="mpi")
+
+    def test_threshold_workers_rejects_explicit_strategy(self, small_graph):
+        # The parallel threshold path always uses the naive
+        # recomputation rule; a requested strategy would be silently
+        # ignored, so it must raise instead.
+        with pytest.raises(SolverError, match="would be ignored"):
+            solve(small_graph, variant="independent", threshold=0.5,
+                  workers=2, strategy="accelerated")
+
+    def test_threshold_workers_auto_strategy_ok(self, small_graph, variant):
+        serial = solve(small_graph, variant=variant, threshold=0.5)
+        pooled = solve(small_graph, variant=variant, threshold=0.5,
+                       workers=2, strategy="auto")
+        assert pooled.retained == serial.retained
+        assert pooled.cover == pytest.approx(serial.cover)
+
 
 class TestKeywordOnlyMigration:
     def test_legacy_positional_calls_warn_but_work(self, figure1):

@@ -3,9 +3,19 @@
 import numpy as np
 import pytest
 
+from repro.core.csr import as_csr
 from repro.core.greedy import greedy_order, greedy_solve
+from repro.core.parallel import ParallelGainEvaluator
 from repro.core.threshold import greedy_threshold_solve
 from repro.errors import SolverError
+from repro.observability import SolverTrace
+
+PARALLEL_BACKENDS = ("shm", "pipe")
+
+
+@pytest.fixture(params=PARALLEL_BACKENDS)
+def parallel_backend(request) -> str:
+    return request.param
 
 
 class TestThresholdSolve:
@@ -64,3 +74,43 @@ class TestThresholdSolve:
             else:
                 lo = mid + 1
         assert direct.k == lo
+
+
+class TestEvaluationAccounting:
+    """gain_evaluations reflects the work actually performed."""
+
+    def test_serial_counts_one_upfront_sweep(self, medium_graph, variant):
+        n = as_csr(medium_graph).n_items
+        result = greedy_threshold_solve(medium_graph, 0.6, variant)
+        # The accelerated rule pays a single n-candidate sweep up front
+        # and patches incrementally afterwards.
+        assert result.gain_evaluations == n
+
+    def test_serial_zero_threshold_still_pays_the_sweep(
+        self, medium_graph, variant
+    ):
+        n = as_csr(medium_graph).n_items
+        result = greedy_threshold_solve(medium_graph, 0.0, variant)
+        assert result.k == 0
+        assert result.gain_evaluations == n
+
+    def test_parallel_counts_per_round_sweeps(self, medium_graph, variant,
+                                              parallel_backend):
+        n = as_csr(medium_graph).n_items
+        with ParallelGainEvaluator(
+            medium_graph, variant, n_workers=2, backend=parallel_backend
+        ) as pool:
+            result = greedy_threshold_solve(
+                medium_graph, 0.6, variant, parallel=pool
+            )
+        expected = sum(n - i for i in range(result.k))
+        assert result.gain_evaluations == expected
+        assert result.gain_evaluations != n  # the old hardcoded value
+
+    def test_tracer_counter_matches_result(self, medium_graph, variant):
+        tracer = SolverTrace()
+        result = greedy_threshold_solve(
+            medium_graph, 0.55, variant, tracer=tracer
+        )
+        counted = tracer.metrics.counter("solver.gain_evaluations").value
+        assert counted == result.gain_evaluations
