@@ -12,7 +12,8 @@ Commands mirror the system architecture:
 * ``stats``       — dataset/graph statistics (Table 2-style).
 * ``check``       — correctness harnesses; ``--differential`` proves all
   strategy x backend combinations select identical sets on random
-  instances (CI runs it at ``--smoke`` size).
+  instances, ``--resilience`` proves killed+resumed solves match clean
+  ones (CI runs both at ``--smoke`` size).
 """
 
 from __future__ import annotations
@@ -66,8 +67,21 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_clickstream(args: argparse.Namespace):
+    """Read the clickstream honoring the --lenient ingestion flags."""
+    clickstream = read_jsonl(
+        args.clickstream,
+        on_error="quarantine" if args.lenient else "raise",
+        error_budget=args.error_budget,
+    )
+    report = getattr(clickstream, "quarantine", None)
+    if report is not None and report.quarantined:
+        print(f"warning: {report.summary()}", file=sys.stderr)
+    return clickstream
+
+
 def _cmd_build_graph(args: argparse.Namespace) -> int:
-    clickstream = read_jsonl(args.clickstream)
+    clickstream = _read_clickstream(args)
     if args.variant == "auto":
         recommendation = recommend_variant(clickstream)
         variant = recommendation.variant
@@ -99,6 +113,24 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         constraints["must_retain"] = args.must_retain
     if args.exclude:
         constraints["exclude"] = args.exclude
+    checkpoint = None
+    if args.checkpoint_dir:
+        from .resilience import Checkpointer
+
+        checkpoint = Checkpointer(
+            args.checkpoint_dir,
+            every_rounds=args.checkpoint_every,
+            resume=args.resume,
+        )
+    guard = None
+    if args.deadline_s is not None or args.max_rss_mb is not None:
+        from .resilience import RunGuard
+
+        guard = RunGuard(
+            deadline_s=args.deadline_s,
+            max_rss_mb=args.max_rss_mb,
+            on_trigger="partial" if args.on_partial == "keep" else "raise",
+        )
     result = solve(
         graph,
         variant=variant,
@@ -110,7 +142,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         workers=args.workers,
         parallel_backend=args.parallel_backend,
         kernels=args.kernels,
+        checkpoint=checkpoint,
+        guard=guard,
     )
+    if result.interrupted:
+        print(
+            f"warning: solve interrupted ({result.interrupted_reason}); "
+            f"the retained set below is the valid partial prefix",
+            file=sys.stderr,
+        )
     print(f"cover C(S) = {result.cover:.6f} with {len(result.retained)} items")
     for rank, item in enumerate(result.retained[: args.show], start=1):
         print(f"  {rank:4d}. {item}")
@@ -131,11 +171,13 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(result.to_dict(), handle)
         print(f"full result written to {args.output}")
-    return 0
+    # Exit 3 distinguishes a valid-but-partial result from success (0)
+    # and errors (1/2) so batch schedulers can tell the cases apart.
+    return 3 if result.interrupted else 0
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
-    clickstream = read_jsonl(args.clickstream)
+    clickstream = _read_clickstream(args)
     reducer = InventoryReducer(
         k=args.k,
         threshold=args.threshold,
@@ -202,32 +244,54 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    if not args.differential:
+    if not args.differential and not args.resilience:
         print(
-            "error: nothing to check; pass --differential",
+            "error: nothing to check; pass --differential and/or "
+            "--resilience",
             file=sys.stderr,
         )
         return 2
-    from .evaluation.differential import run_differential
-
     instances = args.instances
     max_items = args.max_items
-    if args.smoke:
-        instances = instances if instances is not None else 6
-        max_items = max_items if max_items is not None else 60
-    else:
-        instances = instances if instances is not None else 50
-        max_items = max_items if max_items is not None else 140
-    report = run_differential(
-        instances=instances,
-        max_items=max_items,
-        workers=args.workers,
-        seed=args.seed,
-        kernels=args.kernels,
-        log=print if args.verbose else None,
-    )
-    print(report.summary())
-    return 0 if report.ok else 1
+    ok = True
+    if args.differential:
+        from .evaluation.differential import run_differential
+
+        if args.smoke:
+            d_instances = instances if instances is not None else 6
+            d_max_items = max_items if max_items is not None else 60
+        else:
+            d_instances = instances if instances is not None else 50
+            d_max_items = max_items if max_items is not None else 140
+        report = run_differential(
+            instances=d_instances,
+            max_items=d_max_items,
+            workers=args.workers,
+            seed=args.seed,
+            kernels=args.kernels,
+            log=print if args.verbose else None,
+        )
+        print(report.summary())
+        ok = ok and report.ok
+    if args.resilience:
+        from .evaluation.resilience import run_resilience_differential
+
+        if args.smoke:
+            r_instances = instances if instances is not None else 3
+            r_max_items = max_items if max_items is not None else 48
+        else:
+            r_instances = instances if instances is not None else 25
+            r_max_items = max_items if max_items is not None else 96
+        report = run_resilience_differential(
+            instances=r_instances,
+            max_items=r_max_items,
+            workers=args.workers,
+            seed=args.seed,
+            log=print if args.verbose else None,
+        )
+        print("resilience " + report.summary())
+        ok = ok and report.ok
+    return 0 if ok else 1
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -298,6 +362,13 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["independent", "normalized", "auto"],
                        default="auto")
     build.add_argument("--min-edge-sessions", type=int, default=1)
+    build.add_argument("--lenient", action="store_true",
+                       help="quarantine malformed clickstream records "
+                            "instead of failing on the first one")
+    build.add_argument("--error-budget", type=float, default=0.05,
+                       metavar="FRAC",
+                       help="with --lenient, abort when more than this "
+                            "fraction of records is bad (default: 0.05)")
     build.add_argument("-o", "--output", required=True)
     build.set_defaults(func=_cmd_build_graph)
 
@@ -333,6 +404,33 @@ def build_parser() -> argparse.ArgumentParser:
                                 "event per greedy iteration) to PATH")
     solve_cmd.add_argument("--metrics", action="store_true",
                            help="print the run's metrics summary")
+    solve_cmd.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                           help="snapshot greedy state into DIR and resume "
+                                "an interrupted solve from the longest "
+                                "valid prefix")
+    solve_cmd.add_argument("--checkpoint-every", type=int, default=8,
+                           metavar="N",
+                           help="snapshot cadence in committed selections "
+                                "(default: 8)")
+    solve_cmd.add_argument("--resume", dest="resume", action="store_true",
+                           default=True,
+                           help="resume from existing checkpoints "
+                                "(default)")
+    solve_cmd.add_argument("--no-resume", dest="resume",
+                           action="store_false",
+                           help="ignore existing checkpoints; write only")
+    solve_cmd.add_argument("--deadline-s", type=float, default=None,
+                           metavar="S",
+                           help="wall-clock budget; the solve stops after "
+                                "the round that crosses it")
+    solve_cmd.add_argument("--max-rss-mb", type=float, default=None,
+                           metavar="MB",
+                           help="peak-RSS ceiling for the solve")
+    solve_cmd.add_argument("--on-partial", choices=["keep", "error"],
+                           default="keep",
+                           help="tripped deadline/RSS guard: 'keep' prints "
+                                "the valid partial prefix and exits 3, "
+                                "'error' fails the run (default: keep)")
     solve_cmd.add_argument("-o", "--output", default=None)
     solve_cmd.set_defaults(func=_cmd_solve)
 
@@ -344,6 +442,13 @@ def build_parser() -> argparse.ArgumentParser:
     pipe.add_argument("-k", type=int, default=None)
     pipe.add_argument("--threshold", type=float, default=None)
     pipe.add_argument("--min-edge-sessions", type=int, default=1)
+    pipe.add_argument("--lenient", action="store_true",
+                      help="quarantine malformed clickstream records "
+                           "instead of failing on the first one")
+    pipe.add_argument("--error-budget", type=float, default=0.05,
+                      metavar="FRAC",
+                      help="with --lenient, abort when more than this "
+                           "fraction of records is bad (default: 0.05)")
     pipe.add_argument("--show", type=int, default=10)
     pipe.add_argument("-o", "--output", default=None)
     pipe.set_defaults(func=_cmd_pipeline)
@@ -368,6 +473,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("--differential", action="store_true",
                        help="run the differential correctness harness")
+    check.add_argument("--resilience", action="store_true",
+                       help="run the crash/resume differential harness "
+                            "(kill at a random round, resume from "
+                            "checkpoints, compare with the clean solve)")
     check.add_argument("--smoke", action="store_true",
                        help="CI-sized sweep (fewer/smaller instances)")
     check.add_argument("--instances", type=int, default=None,

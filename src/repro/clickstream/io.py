@@ -11,6 +11,18 @@ Two formats are supported:
 * **JSON lines** — one session per line
   (``{"session_id": ..., "clicks": [...], "purchase": ...}``), the
   compact native format used by the examples and tests.
+
+Both readers support *lenient ingestion*: real export pipelines produce
+truncated lines, schema drift and binary junk, and a multi-hour solve
+should not die on line 48 million of a clickstream dump.  ``on_error``
+selects the policy — ``"raise"`` (default, fail on the first bad
+record), ``"skip"`` (drop bad records, count them) or ``"quarantine"``
+(drop, count *and* keep a bounded sample of the offending lines).  In
+the lenient modes a :class:`QuarantineReport` is attached to the
+returned :class:`~repro.clickstream.models.Clickstream` as
+``.quarantine``, and an ``error_budget`` fraction bounds how much of
+the input may be bad before ingestion aborts anyway — silently
+accepting a 90%-corrupt file would poison the graph, not save the run.
 """
 
 from __future__ import annotations
@@ -18,13 +30,131 @@ from __future__ import annotations
 import csv
 import json
 from collections import defaultdict
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from ..errors import ClickstreamFormatError
+from ..observability import coerce_tracer
+from ..resilience.faults import active_faults
 from .models import Clickstream, Session
 
 PathLike = Union[str, Path]
+
+#: Accepted ``on_error`` ingestion policies.
+ON_ERROR = ("raise", "skip", "quarantine")
+
+#: Offending-line samples kept per quarantine report.
+_SAMPLE_LIMIT = 5
+
+#: Records to observe before the error budget may abort mid-stream
+#: (prevents a bad first line from tripping a fractional budget).
+_BUDGET_MIN_RECORDS = 20
+
+#: Types accepted as item / session identifiers.  A *string* ``clicks``
+#: value is specifically rejected: ``tuple("abc")`` silently explodes
+#: into per-character items.
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+def _bad_record(
+    path: PathLike, line_no: int, reason: str, detail: str
+) -> ClickstreamFormatError:
+    """A format error that names the offending line and carries a tag."""
+    error = ClickstreamFormatError(f"{path}:{line_no}: {detail}")
+    error.reason = reason
+    error.line_no = line_no
+    return error
+
+
+@dataclass
+class QuarantineReport:
+    """Tally of records rejected by a lenient ingestion pass.
+
+    Attributes:
+        source: the file(s) the report covers.
+        mode: the ``on_error`` policy that produced it.
+        error_budget: the abort fraction in force (``None`` = unlimited).
+        total: records examined (blank lines excluded).
+        quarantined: records rejected.
+        reasons: rejection tally keyed by reason tag
+            (``invalid-json``, ``clicks-not-a-list``,
+            ``buys-short-row``, ...).
+        samples: up to ``5`` human-readable ``location: detail`` entries
+            for the first offending records.
+    """
+
+    source: str
+    mode: str = "quarantine"
+    error_budget: Optional[float] = None
+    total: int = 0
+    quarantined: int = 0
+    reasons: Dict[str, int] = field(default_factory=dict)
+    samples: List[str] = field(default_factory=list)
+
+    @property
+    def bad_fraction(self) -> float:
+        """Fraction of examined records that were rejected."""
+        return self.quarantined / self.total if self.total else 0.0
+
+    def record(self, error: ClickstreamFormatError) -> None:
+        """Count one rejected record (sample kept in quarantine mode)."""
+        self.quarantined += 1
+        reason = getattr(error, "reason", "invalid")
+        self.reasons[reason] = self.reasons.get(reason, 0) + 1
+        if self.mode == "quarantine" and len(self.samples) < _SAMPLE_LIMIT:
+            self.samples.append(str(error))
+
+    def check_budget(self, *, final: bool = False) -> None:
+        """Abort ingestion when too much of the input is bad.
+
+        Mid-stream the check waits for a minimum sample size so one bad
+        leading line cannot trip a fractional budget; the ``final``
+        check applies regardless.
+        """
+        if self.error_budget is None or self.total == 0:
+            return
+        if not final and self.total < _BUDGET_MIN_RECORDS:
+            return
+        if self.bad_fraction > self.error_budget:
+            raise ClickstreamFormatError(
+                f"{self.source}: error budget exceeded: "
+                f"{self.quarantined}/{self.total} records "
+                f"({self.bad_fraction:.1%}) rejected, budget "
+                f"{self.error_budget:.1%}; reasons: "
+                f"{dict(sorted(self.reasons.items()))}"
+            )
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"quarantined {self.quarantined}/{self.total} records "
+            f"({self.bad_fraction:.1%}) from {self.source}"
+        ]
+        for reason, count in sorted(self.reasons.items()):
+            lines.append(f"  {reason}: {count}")
+        for sample in self.samples:
+            lines.append(f"  e.g. {sample}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "source": self.source,
+            "mode": self.mode,
+            "total": self.total,
+            "quarantined": self.quarantined,
+            "bad_fraction": self.bad_fraction,
+            "reasons": dict(sorted(self.reasons.items())),
+            "samples": list(self.samples),
+        }
+
+
+def _check_on_error(on_error: str) -> None:
+    if on_error not in ON_ERROR:
+        raise ClickstreamFormatError(
+            f"unknown on_error policy {on_error!r}; expected one of "
+            f"{ON_ERROR}"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -42,33 +172,108 @@ def write_jsonl(clickstream: Clickstream, path: PathLike) -> None:
             handle.write(json.dumps(record) + "\n")
 
 
-def read_jsonl(path: PathLike) -> Clickstream:
-    """Read a JSON-lines clickstream written by :func:`write_jsonl`."""
+def _session_from_jsonl(path: PathLike, line_no: int, line: str) -> Session:
+    """Parse and validate one JSONL record (raises on any defect)."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise _bad_record(
+            path, line_no, "invalid-json", f"invalid JSON: {exc}"
+        ) from exc
+    if not isinstance(record, dict):
+        raise _bad_record(
+            path, line_no, "not-an-object",
+            f"expected a JSON object per line, got "
+            f"{type(record).__name__}",
+        )
+    if "session_id" not in record or "clicks" not in record:
+        raise _bad_record(
+            path, line_no, "missing-fields",
+            "session must have 'session_id' and 'clicks'",
+        )
+    session_id = record["session_id"]
+    if not isinstance(session_id, _SCALAR_TYPES):
+        raise _bad_record(
+            path, line_no, "non-scalar-session-id",
+            f"'session_id' must be a scalar, got "
+            f"{type(session_id).__name__}",
+        )
+    clicks = record["clicks"]
+    if not isinstance(clicks, list):
+        # A string here is the classic silent corruption: tuple("abc")
+        # explodes into per-character phantom items.
+        raise _bad_record(
+            path, line_no, "clicks-not-a-list",
+            f"'clicks' must be a list of item ids, got "
+            f"{type(clicks).__name__}",
+        )
+    for click in clicks:
+        if not isinstance(click, _SCALAR_TYPES):
+            raise _bad_record(
+                path, line_no, "non-scalar-click",
+                f"click item ids must be scalars, got "
+                f"{type(click).__name__}",
+            )
+    purchase = record.get("purchase")
+    if purchase is not None and not isinstance(purchase, _SCALAR_TYPES):
+        raise _bad_record(
+            path, line_no, "non-scalar-purchase",
+            f"'purchase' must be a scalar item id or null, got "
+            f"{type(purchase).__name__}",
+        )
+    return Session(
+        session_id=session_id, clicks=tuple(clicks), purchase=purchase
+    )
+
+
+def read_jsonl(
+    path: PathLike,
+    *,
+    on_error: str = "raise",
+    error_budget: Optional[float] = 0.05,
+    tracer=None,
+) -> Clickstream:
+    """Read a JSON-lines clickstream written by :func:`write_jsonl`.
+
+    Every record is validated before it becomes a
+    :class:`~repro.clickstream.models.Session`: ``clicks`` must be a
+    list of scalar item ids (a *string* value would silently explode
+    into per-character items) and ``session_id``/``purchase`` must be
+    scalars.  Defects raise :class:`ClickstreamFormatError` naming the
+    line under ``on_error="raise"``; the lenient policies (``"skip"`` /
+    ``"quarantine"``) drop bad records, attach a
+    :class:`QuarantineReport` to the result as ``.quarantine``, and
+    abort only when more than ``error_budget`` of the input is bad.
+    """
+    _check_on_error(on_error)
+    tracer = coerce_tracer(tracer)
+    faults = active_faults()
+    report = QuarantineReport(
+        source=str(path), mode=on_error,
+        error_budget=error_budget if on_error != "raise" else None,
+    )
     sessions: List[Session] = []
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
+            if faults is not None:
+                line = faults.corrupt_record(line)
+            report.total += 1
             try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ClickstreamFormatError(
-                    f"{path}:{line_no}: invalid JSON: {exc}"
-                ) from exc
-            if "session_id" not in record or "clicks" not in record:
-                raise ClickstreamFormatError(
-                    f"{path}:{line_no}: session must have 'session_id' "
-                    f"and 'clicks'"
-                )
-            sessions.append(
-                Session(
-                    session_id=record["session_id"],
-                    clicks=tuple(record["clicks"]),
-                    purchase=record.get("purchase"),
-                )
-            )
-    return Clickstream(sessions)
+                sessions.append(_session_from_jsonl(path, line_no, line))
+            except ClickstreamFormatError as error:
+                if on_error == "raise":
+                    raise
+                report.record(error)
+                if tracer.enabled:
+                    tracer.incr("ingest.quarantined")
+                report.check_budget()
+    report.check_budget(final=True)
+    stream = Clickstream(sessions)
+    stream.quarantine = report if on_error != "raise" else None
+    return stream
 
 
 # ----------------------------------------------------------------------
@@ -106,6 +311,9 @@ def read_yoochoose(
     buys_path: PathLike,
     *,
     max_sessions: Optional[int] = None,
+    on_error: str = "raise",
+    error_budget: Optional[float] = 0.05,
+    tracer=None,
 ) -> Clickstream:
     """Read YooChoose clicks/buys files into a clickstream.
 
@@ -113,35 +321,65 @@ def read_yoochoose(
     *first* purchase (the paper works with single-purchase sessions; the
     real dataset is customarily filtered this way).  ``max_sessions``
     truncates for quick experiments.
+
+    Row validation follows the challenge layout: clicks rows need at
+    least 3 columns (``session,timestamp,item``; category optional) and
+    buys rows all 5 (``session,timestamp,item,price,quantity``) — a
+    3–4 column buys row is a truncated export, not a purchase, and is
+    rejected rather than silently counted as demand.  ``on_error`` and
+    ``error_budget`` behave as in :func:`read_jsonl`; in the lenient
+    modes the attached :class:`QuarantineReport` spans both files.
     """
+    _check_on_error(on_error)
+    tracer = coerce_tracer(tracer)
+    report = QuarantineReport(
+        source=f"{clicks_path} + {buys_path}", mode=on_error,
+        error_budget=error_budget if on_error != "raise" else None,
+    )
+
+    def reject(error: ClickstreamFormatError) -> None:
+        if on_error == "raise":
+            raise error
+        report.record(error)
+        if tracer.enabled:
+            tracer.incr("ingest.quarantined")
+        report.check_budget()
+
     purchases: Dict[str, str] = {}
-    with open(buys_path, "r", encoding="utf-8") as handle:
+    with open(buys_path, "r", encoding="utf-8", errors="replace") as handle:
         for line_no, row in enumerate(csv.reader(handle), start=1):
             if not row:
                 continue
-            if len(row) < 3:
-                raise ClickstreamFormatError(
-                    f"{buys_path}:{line_no}: expected >=3 columns, "
-                    f"got {len(row)}"
-                )
+            report.total += 1
+            if len(row) < 5:
+                reject(_bad_record(
+                    buys_path, line_no, "buys-short-row",
+                    f"buys rows need 5 columns (session,timestamp,item,"
+                    f"price,quantity), got {len(row)}",
+                ))
+                continue
             session_id, _timestamp, item = row[0], row[1], row[2]
             purchases.setdefault(session_id, item)
 
     clicks: Dict[str, List[str]] = defaultdict(list)
     session_order: List[str] = []
-    with open(clicks_path, "r", encoding="utf-8") as handle:
+    with open(clicks_path, "r", encoding="utf-8", errors="replace") as handle:
         for line_no, row in enumerate(csv.reader(handle), start=1):
             if not row:
                 continue
+            report.total += 1
             if len(row) < 3:
-                raise ClickstreamFormatError(
-                    f"{clicks_path}:{line_no}: expected >=3 columns, "
-                    f"got {len(row)}"
-                )
+                reject(_bad_record(
+                    clicks_path, line_no, "clicks-short-row",
+                    f"clicks rows need >=3 columns (session,timestamp,"
+                    f"item[,category]), got {len(row)}",
+                ))
+                continue
             session_id, _timestamp, item = row[0], row[1], row[2]
             if session_id not in clicks:
                 session_order.append(session_id)
             clicks[session_id].append(item)
+    report.check_budget(final=True)
 
     # Purchases without any click row still form (click-less) sessions.
     for session_id in purchases:
@@ -160,4 +398,6 @@ def read_yoochoose(
         )
         if max_sessions is not None and len(sessions) >= max_sessions:
             break
-    return Clickstream(sessions)
+    stream = Clickstream(sessions)
+    stream.quarantine = report if on_error != "raise" else None
+    return stream

@@ -43,7 +43,7 @@ from typing import Callable, Iterable, Optional
 import numpy as np
 
 from .._compat import keyword_only_shim
-from ..errors import SolverError
+from ..errors import SolverError, SolverInterrupted
 from ..observability import NULL_TRACER, coerce_tracer
 from .csr import CSRGraph, as_csr
 from .gain import GreedyState
@@ -55,6 +55,73 @@ STRATEGIES = ("auto", "naive", "lazy", "accelerated")
 
 #: Optional per-iteration hook: ``callback(iteration, node, gain, cover)``.
 IterationCallback = Callable[[int, int, float, float], None]
+
+
+class _RoundHooks:
+    """Per-round resilience hooks shared by every greedy strategy.
+
+    Bundles the checkpointer, run guard and active fault injector so
+    the strategy loops carry one optional object instead of three
+    parameters.  :meth:`after_round` runs right after a selection is
+    committed: snapshot if due, fire any injected crash, then consult
+    the guard — a non-``None`` return is the interruption reason and
+    the loop must stop.
+    """
+
+    __slots__ = ("checkpointer", "context", "guard", "faults", "tracer")
+
+    def __init__(self, checkpointer, context, guard, faults, tracer):
+        self.checkpointer = checkpointer
+        self.context = context
+        self.guard = guard
+        self.faults = faults
+        self.tracer = tracer
+
+    def after_round(self, state) -> Optional[str]:
+        if self.checkpointer is not None:
+            self.checkpointer.maybe_save(
+                state, self.context, tracer=self.tracer
+            )
+        if self.faults is not None:
+            self.faults.solver_round(state.size)
+        if self.guard is not None:
+            reason = self.guard.trip_reason()
+            if reason is not None:
+                if self.tracer.enabled:
+                    kind = "rss" if "RSS" in reason else "deadline"
+                    self.tracer.incr(f"guard.{kind}_hits")
+                    self.tracer.event("solve.guard_trip", reason=reason)
+                return reason
+        return None
+
+
+def _make_hooks(
+    checkpoint, guard, csr, variant, seed_indices, exclude_indices, tracer
+):
+    """Build the per-round hook bundle (or ``None`` when all are off).
+
+    Also resolves the checkpoint context and the ambient fault
+    injector; returns ``(hooks, checkpointer, context)`` so the caller
+    can drive resume and final-state saves.
+    """
+    from ..resilience.checkpoint import coerce_checkpointer, solve_context
+    from ..resilience.faults import active_faults
+
+    checkpointer = coerce_checkpointer(checkpoint)
+    faults = active_faults()
+    context = None
+    if checkpointer is not None:
+        context = solve_context(
+            csr, variant, seed_indices, exclude_indices
+        )
+        checkpointer.begin()
+    if checkpointer is None and guard is None and faults is None:
+        return None, None, None
+    return (
+        _RoundHooks(checkpointer, context, guard, faults, tracer),
+        checkpointer,
+        context,
+    )
 
 
 @keyword_only_shim("k", "variant")
@@ -70,6 +137,8 @@ def greedy_solve(
     exclude: Optional[Iterable] = None,
     tracer=None,
     kernels=None,
+    checkpoint=None,
+    guard=None,
 ) -> SolveResult:
     """Solve ``IPC_k`` / ``NPC_k`` with the greedy algorithm.
 
@@ -97,6 +166,20 @@ def greedy_solve(
             consult the ``REPRO_KERNELS`` environment variable.  All
             backends produce identical selections; see
             ``docs/performance.md``.
+        checkpoint: a :class:`repro.resilience.Checkpointer` (or a
+            checkpoint directory path) enabling periodic atomic
+            snapshots of the greedy prefix.  When the checkpointer has
+            ``resume=True`` (the default) the solve first replays the
+            longest valid snapshot for this exact instance and
+            continues from there — the prefix property guarantees the
+            resumed run selects exactly what the uninterrupted run
+            would have.
+        guard: a :class:`repro.resilience.RunGuard` consulted after
+            every committed round; on a tripped deadline or RSS
+            ceiling the solve either raises
+            :class:`~repro.errors.SolverInterrupted` (with the partial
+            result attached) or returns the partial result flagged
+            ``interrupted=True``, per the guard's ``on_trigger``.
 
     All parameters after ``graph`` are keyword-only; the legacy
     positional order ``greedy_solve(graph, k, variant, ...)`` still
@@ -161,27 +244,57 @@ def greedy_solve(
             n_seeded=int(seed_indices.size),
             n_excluded=int(exclude_indices.size),
         )
+    hooks, checkpointer, context = _make_hooks(
+        checkpoint, guard, csr, variant, seed_indices, exclude_indices,
+        tracer,
+    )
+    if guard is not None:
+        guard.start()
     start = time.perf_counter()
 
     for node in seed_indices.tolist():
         state.add_node(node)
         prefix_covers[state.size] = state.cover
+
+    if checkpointer is not None and checkpointer.resume:
+        snapshot = checkpointer.load(context, n_items=n, tracer=tracer)
+        if snapshot is not None:
+            # Replay the saved prefix: the checkpointed order begins
+            # with the seed set (skipped via in_set) and is capped at
+            # k, since a snapshot from a larger-k or threshold run of
+            # the same instance is still a valid greedy prefix.
+            replayed = 0
+            for node in snapshot.order:
+                if state.size >= k:
+                    break
+                if state.in_set[node]:
+                    continue
+                state.add_node(node)
+                prefix_covers[state.size] = state.cover
+                replayed += 1
+            if tracer.enabled:
+                tracer.incr("resilience.resumes")
+                tracer.incr("resilience.resumed_rounds", replayed)
+                tracer.event(
+                    "solve.resume", epoch=snapshot.epoch,
+                    replayed=replayed, cover=float(state.cover),
+                )
     remaining = k - state.size
 
     if strategy == "naive":
-        evaluations = _run_naive(
+        evaluations, stop_reason = _run_naive(
             state, remaining, prefix_covers, parallel, callback,
-            forbidden=forbidden, tracer=tracer,
+            forbidden=forbidden, tracer=tracer, hooks=hooks,
         )
     elif strategy == "lazy":
-        evaluations = _run_lazy(
+        evaluations, stop_reason = _run_lazy(
             state, remaining, prefix_covers, callback, forbidden=forbidden,
-            tracer=tracer,
+            tracer=tracer, hooks=hooks,
         )
     else:
-        evaluations = _run_accelerated(
+        evaluations, stop_reason = _run_accelerated(
             state, remaining, prefix_covers, callback, forbidden=forbidden,
-            tracer=tracer,
+            tracer=tracer, hooks=hooks,
         )
 
     elapsed = time.perf_counter() - start
@@ -191,9 +304,16 @@ def greedy_solve(
             "solve.end", solver="greedy", strategy=strategy,
             cover=float(state.cover), wall_time_s=elapsed,
             gain_evaluations=evaluations,
+            interrupted=stop_reason is not None,
         )
+    if checkpointer is not None and state.size > 0:
+        # Best-effort final snapshot: an interrupted solve resumes from
+        # exactly the interrupted state (not the last periodic one), and
+        # a completed solve leaves its full prefix for later re-runs or
+        # other stopping rules over the same instance.
+        checkpointer.save(state, context, tracer=tracer)
     indices = state.retained_indices()
-    return SolveResult(
+    result = SolveResult(
         variant=variant,
         k=k,
         retained=[csr.items[i] for i in indices.tolist()],
@@ -201,11 +321,19 @@ def greedy_solve(
         cover=float(state.cover),
         coverage=state.coverage,
         item_ids=csr.items,
-        prefix_covers=prefix_covers,
+        prefix_covers=(
+            prefix_covers if stop_reason is None
+            else prefix_covers[: state.size + 1].copy()
+        ),
         strategy=f"greedy-{strategy}",
         wall_time_s=elapsed,
         gain_evaluations=evaluations,
+        interrupted=stop_reason is not None,
+        interrupted_reason=stop_reason,
     )
+    if stop_reason is not None and guard.on_trigger == "raise":
+        raise SolverInterrupted(stop_reason, partial=result)
+    return result
 
 
 @keyword_only_shim("variant")
@@ -240,8 +368,13 @@ def _run_naive(
     callback: Optional[IterationCallback],
     forbidden: Optional[np.ndarray] = None,
     tracer=NULL_TRACER,
-) -> int:
-    """Algorithm 1 verbatim: full gain recomputation each iteration."""
+    hooks: Optional[_RoundHooks] = None,
+) -> tuple:
+    """Algorithm 1 verbatim: full gain recomputation each iteration.
+
+    Returns ``(evaluations, stop_reason)``; ``stop_reason`` is the run
+    guard's interruption reason, or ``None`` for a completed run.
+    """
     n = state.csr.n_items
     evaluations = 0
     for iteration in range(k):
@@ -266,7 +399,11 @@ def _run_naive(
                 gain=gain, cover=float(state.cover), strategy="naive",
                 gains_evaluated=n - state.size + 1,
             )
-    return evaluations
+        if hooks is not None:
+            reason = hooks.after_round(state)
+            if reason is not None:
+                return evaluations, reason
+    return evaluations, None
 
 
 def _run_lazy(
@@ -276,7 +413,8 @@ def _run_lazy(
     callback: Optional[IterationCallback],
     forbidden: Optional[np.ndarray] = None,
     tracer=NULL_TRACER,
-) -> int:
+    hooks: Optional[_RoundHooks] = None,
+) -> tuple:
     """CELF lazy greedy.
 
     Heap entries are ``(-gain, node)``; ``last_eval[node]`` records the
@@ -335,7 +473,11 @@ def _run_lazy(
                 gain=gain, cover=float(state.cover), strategy="lazy",
                 heap_pops=heap_pops, reevaluations=reevaluations,
             )
-    return evaluations
+        if hooks is not None:
+            reason = hooks.after_round(state)
+            if reason is not None:
+                return evaluations, reason
+    return evaluations, None
 
 
 def accelerated_step(
@@ -437,7 +579,8 @@ def _run_accelerated(
     callback: Optional[IterationCallback],
     forbidden: Optional[np.ndarray] = None,
     tracer=NULL_TRACER,
-) -> int:
+    hooks: Optional[_RoundHooks] = None,
+) -> tuple:
     """Incrementally-maintained gain array (see :func:`accelerated_step`)."""
     gains = prepare_accelerated_gains(state, forbidden)
     evaluations = state.csr.n_items
@@ -451,7 +594,11 @@ def _run_accelerated(
                 iteration, item=state.csr.items[best], node=best,
                 gain=gain, cover=float(state.cover), strategy="accelerated",
             )
-    return evaluations
+        if hooks is not None:
+            reason = hooks.after_round(state)
+            if reason is not None:
+                return evaluations, reason
+    return evaluations, None
 
 
 def prepare_accelerated_gains(

@@ -603,6 +603,7 @@ class ParallelGainEvaluator:
             self.start()
         if self.backend == "serial" or not self._conns:
             return state.gains_all()
+        self._inject_pool_faults()
         try:
             if self.backend == "shm":
                 return self._shm_round(state)
@@ -622,6 +623,32 @@ class ParallelGainEvaluator:
                 f"parallel gain evaluation failed ({type(exc).__name__}: "
                 f"{exc}); worker pool torn down"
             ) from exc
+
+    def _inject_pool_faults(self) -> None:
+        """Consult the active fault injector before a round (chaos tests).
+
+        ``worker_crash`` SIGKILLs one rng-chosen worker so the round
+        exercises the supervision/restart path; ``recv_delay`` stalls
+        the parent the way a slow worker would.  No-op without an
+        active injector.
+        """
+        from ..resilience.faults import active_faults
+
+        faults = active_faults()
+        if faults is None or not self._procs:
+            return
+        victim = faults.crash_worker_index(len(self._procs))
+        if victim is not None:
+            proc = self._procs[victim]
+            if proc.is_alive() and proc.pid is not None:
+                import os
+                import signal
+
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.join(timeout=5)
+        delay = faults.round_delay_s()
+        if delay > 0:
+            time.sleep(delay)
 
     # ------------------------------------------------------------------
     # shm protocol

@@ -45,6 +45,12 @@ class SolveResult:
             optional per-iteration trace) attached by the
             :func:`repro.solve` facade; ``None`` when the solver ran
             un-instrumented.
+        interrupted: ``True`` when a run guard stopped the solve before
+            its objective was reached; the retained set is then the
+            valid greedy prefix committed so far (see
+            ``docs/resilience.md``).
+        interrupted_reason: human-readable trigger (deadline / RSS
+            ceiling) when ``interrupted`` is set.
     """
 
     variant: Variant
@@ -59,6 +65,8 @@ class SolveResult:
     wall_time_s: float = 0.0
     gain_evaluations: int = 0
     telemetry: Optional[Telemetry] = None
+    interrupted: bool = False
+    interrupted_reason: Optional[str] = None
 
     # ------------------------------------------------------------------
     def item_coverage(self, node_weight: np.ndarray) -> np.ndarray:
@@ -96,7 +104,7 @@ class SolveResult:
 
     def to_dict(self) -> Dict:
         """Plain-python summary (for JSON reports and the CLI)."""
-        return {
+        payload = {
             "variant": self.variant.value,
             "k": self.k,
             "retained": list(self.retained),
@@ -105,6 +113,10 @@ class SolveResult:
             "wall_time_s": self.wall_time_s,
             "gain_evaluations": self.gain_evaluations,
         }
+        if self.interrupted:
+            payload["interrupted"] = True
+            payload["interrupted_reason"] = self.interrupted_reason
+        return payload
 
     def __repr__(self) -> str:
         return (

@@ -16,11 +16,11 @@ import time
 import numpy as np
 
 from .._compat import keyword_only_shim
-from ..errors import SolverError
+from ..errors import SolverError, SolverInterrupted
 from ..observability import coerce_tracer
 from .csr import as_csr
 from .gain import GreedyState
-from .greedy import accelerated_step, prepare_accelerated_gains
+from .greedy import _make_hooks, accelerated_step, prepare_accelerated_gains
 from .result import SolveResult
 from .variants import Variant
 
@@ -34,6 +34,8 @@ def greedy_threshold_solve(
     tracer=None,
     kernels=None,
     parallel=None,
+    checkpoint=None,
+    guard=None,
 ) -> SolveResult:
     """Smallest greedy set whose cover reaches ``threshold``.
 
@@ -49,6 +51,16 @@ def greedy_threshold_solve(
     (the naive recomputation rule) instead of patching it incrementally —
     same selections, different cost profile, useful on wide graphs where
     one machine-sized gain sweep dominates.
+
+    ``checkpoint`` accepts a checkpoint directory or a
+    :class:`~repro.resilience.Checkpointer`; snapshots taken under a
+    ``k``-bounded solve are interchangeable with threshold solves over
+    the same instance (the context hash deliberately excludes the
+    stopping rule), so a crashed run resumes from the longest valid
+    prefix and keeps selecting until the threshold is met.  ``guard``
+    accepts a :class:`~repro.resilience.RunGuard`; a tripped guard
+    either raises :class:`~repro.errors.SolverInterrupted` or returns
+    the partial result flagged ``interrupted=True``.
 
     Raises :class:`SolverError` for thresholds outside ``[0, 1]`` or
     thresholds that even the full catalog cannot reach (possible only
@@ -71,6 +83,31 @@ def greedy_threshold_solve(
         )
     start = time.perf_counter()
 
+    hooks, checkpointer, context = _make_hooks(
+        checkpoint, guard, csr, variant, None, None, tracer
+    )
+    if guard is not None:
+        guard.start()
+    if checkpointer is not None and checkpointer.resume:
+        snapshot = checkpointer.load(context, n_items=n, tracer=tracer)
+        if snapshot is not None:
+            replayed = 0
+            for node in snapshot.order:
+                if state.cover >= threshold - 1e-12:
+                    break
+                if state.in_set[node]:
+                    continue
+                state.add_node(node)
+                prefix_covers.append(state.cover)
+                replayed += 1
+            if tracer.enabled:
+                tracer.incr("resilience.resumes")
+                tracer.incr("resilience.resumed_rounds", replayed)
+                tracer.event(
+                    "solve.resume", epoch=snapshot.epoch,
+                    replayed=replayed, cover=float(state.cover),
+                )
+
     # Evaluation accounting mirrors greedy_solve: the accelerated path
     # pays one full n-candidate sweep up front and then patches gains
     # incrementally; the parallel (naive-recomputation) path pays one
@@ -81,6 +118,7 @@ def greedy_threshold_solve(
     else:
         gains = prepare_accelerated_gains(state)
         evaluations = n
+    stop_reason = None
     while state.cover < threshold - 1e-12:
         if state.size == n:
             raise SolverError(
@@ -103,6 +141,10 @@ def greedy_threshold_solve(
                 gain=gain, cover=float(state.cover),
                 strategy="greedy-threshold",
             )
+        if hooks is not None:
+            stop_reason = hooks.after_round(state)
+            if stop_reason is not None:
+                break
 
     elapsed = time.perf_counter() - start
     if tracer.enabled:
@@ -110,10 +152,15 @@ def greedy_threshold_solve(
         tracer.event(
             "solve.end", solver="greedy-threshold",
             cover=float(state.cover), wall_time_s=elapsed,
-            retained=state.size,
+            retained=state.size, interrupted=stop_reason is not None,
         )
+    if checkpointer is not None and state.size > 0:
+        # Best-effort final snapshot: an interrupted prefix resumes even
+        # between the cadence's save points, and a completed one is
+        # reusable by later solves over the same instance.
+        checkpointer.save(state, context, tracer=tracer)
     indices = state.retained_indices()
-    return SolveResult(
+    result = SolveResult(
         variant=variant,
         k=state.size,
         retained=[csr.items[i] for i in indices.tolist()],
@@ -125,4 +172,9 @@ def greedy_threshold_solve(
         strategy="greedy-threshold",
         wall_time_s=elapsed,
         gain_evaluations=evaluations,
+        interrupted=stop_reason is not None,
+        interrupted_reason=stop_reason,
     )
+    if stop_reason is not None and guard.on_trigger == "raise":
+        raise SolverInterrupted(stop_reason, partial=result)
+    return result

@@ -34,6 +34,23 @@ class SolverError(ReproError):
     """
 
 
+class SolverInterrupted(ReproError):
+    """A solve was stopped by a run guard before reaching its objective.
+
+    Raised when a :class:`repro.resilience.RunGuard` with
+    ``on_trigger="raise"`` trips (deadline or RSS ceiling).  The work
+    completed so far is not lost: ``partial`` carries the partial
+    :class:`~repro.core.result.SolveResult` (flagged
+    ``interrupted=True``), which the greedy prefix property makes a
+    valid solution for its own size.
+    """
+
+    def __init__(self, reason: str, partial=None) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.partial = partial
+
+
 class ClickstreamFormatError(ReproError):
     """Raw clickstream data could not be parsed or is semantically invalid."""
 

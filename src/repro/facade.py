@@ -39,7 +39,7 @@ from .core.greedy import greedy_solve
 from .core.parallel import PARALLEL_BACKENDS
 from .core.threshold import greedy_threshold_solve
 from .core.variants import Variant
-from .errors import SolverError
+from .errors import SolverError, SolverInterrupted
 from .observability import MetricsRegistry, SolverTrace, Telemetry
 
 #: Constraint keys understood by :func:`solve`.
@@ -82,6 +82,8 @@ def solve(
     workers: Optional[int] = None,
     parallel_backend: str = "auto",
     kernels=None,
+    checkpoint=None,
+    guard=None,
 ):
     """Solve a Preference Cover problem through one unified entry point.
 
@@ -115,6 +117,17 @@ def solve(
             ``numpy`` / ``numba`` or a
             :class:`~repro.core.kernels.KernelBackend`); ``None``
             consults the ``REPRO_KERNELS`` environment variable.
+        checkpoint: a checkpoint directory (str/Path) or a
+            :class:`~repro.resilience.Checkpointer`; the solve snapshots
+            its greedy state periodically and resumes from the longest
+            valid prefix on the next call.  Supported by plain ``k``
+            and ``threshold`` solves (with or without ``workers``).
+        guard: a :class:`~repro.resilience.RunGuard`; a crossed
+            deadline or RSS ceiling stops the solve after the current
+            round, either raising
+            :class:`~repro.errors.SolverInterrupted` or returning the
+            partial result flagged ``interrupted=True``, per the
+            guard's ``on_trigger``.
 
     Returns:
         :class:`~repro.core.result.SolveResult` with
@@ -127,9 +140,11 @@ def solve(
             constraint/objective keys, an unknown ``parallel_backend``
             (validated eagerly, even when no pool is built), an explicit
             ``strategy`` on a threshold solve with ``workers > 1``
-            (which would otherwise be silently ignored), or ``workers``
+            (which would otherwise be silently ignored), ``workers``
             combined with a dispatch target that cannot use a worker
-            pool.
+            pool, or ``checkpoint``/``guard`` on a dispatch target
+            that does not support resilience hooks (budget, revenue,
+            quota solves).
     """
     variant = Variant.coerce(variant)
     # Validate eagerly rather than deferring to ParallelGainEvaluator:
@@ -192,6 +207,15 @@ def solve(
             "must_retain/exclude-free runs for now"
         )
 
+    if (checkpoint is not None or guard is not None) and (
+        budget is not None or revenues is not None or categories is not None
+    ):
+        raise SolverError(
+            "checkpoint/guard apply only to plain k and threshold "
+            "solves; the budget/revenue/quota solvers do not support "
+            "resilience hooks"
+        )
+
     want_pool = workers is not None and workers > 1
     if want_pool:
         if budget is not None or revenues is not None or categories is not None:
@@ -224,59 +248,72 @@ def solve(
             tracer=tracer, kernels=kernels,
         )
 
-    with metrics.time("facade.solve"):
-        if budget is not None:
-            from .extensions.capacity import capacity_greedy_solve
+    try:
+        with metrics.time("facade.solve"):
+            if budget is not None:
+                from .extensions.capacity import capacity_greedy_solve
 
-            result = capacity_greedy_solve(
-                graph, budget=budget, variant=variant, costs=costs,
-                tracer=tracer,
-            )
-        elif threshold is not None:
-            if want_pool:
-                with make_pool() as pool:
+                result = capacity_greedy_solve(
+                    graph, budget=budget, variant=variant, costs=costs,
+                    tracer=tracer,
+                )
+            elif threshold is not None:
+                if want_pool:
+                    with make_pool() as pool:
+                        result = greedy_threshold_solve(
+                            graph, threshold=threshold, variant=variant,
+                            tracer=tracer, kernels=kernels, parallel=pool,
+                            checkpoint=checkpoint, guard=guard,
+                        )
+                else:
                     result = greedy_threshold_solve(
                         graph, threshold=threshold, variant=variant,
+                        tracer=tracer, kernels=kernels,
+                        checkpoint=checkpoint, guard=guard,
+                    )
+            elif revenues is not None:
+                from .extensions.revenue import revenue_greedy_solve
+
+                result = revenue_greedy_solve(
+                    graph, k=k, variant=variant, revenues=revenues,
+                    strategy=strategy, tracer=tracer,
+                )
+            elif categories is not None:
+                from .extensions.quotas import quota_greedy_solve
+
+                if must_retain is not None or exclude is not None:
+                    raise SolverError(
+                        "quota constraints do not compose with "
+                        "must_retain/exclude yet"
+                    )
+                result = quota_greedy_solve(
+                    graph, variant=variant, categories=categories,
+                    quotas=quotas, k=k, tracer=tracer,
+                )
+            elif want_pool:
+                with make_pool() as pool:
+                    result = greedy_solve(
+                        graph, k=k, variant=variant, strategy=strategy,
+                        must_retain=must_retain, exclude=exclude,
                         tracer=tracer, kernels=kernels, parallel=pool,
+                        checkpoint=checkpoint, guard=guard,
                     )
             else:
-                result = greedy_threshold_solve(
-                    graph, threshold=threshold, variant=variant,
-                    tracer=tracer, kernels=kernels,
-                )
-        elif revenues is not None:
-            from .extensions.revenue import revenue_greedy_solve
-
-            result = revenue_greedy_solve(
-                graph, k=k, variant=variant, revenues=revenues,
-                strategy=strategy, tracer=tracer,
-            )
-        elif categories is not None:
-            from .extensions.quotas import quota_greedy_solve
-
-            if must_retain is not None or exclude is not None:
-                raise SolverError(
-                    "quota constraints do not compose with "
-                    "must_retain/exclude yet"
-                )
-            result = quota_greedy_solve(
-                graph, variant=variant, categories=categories,
-                quotas=quotas, k=k, tracer=tracer,
-            )
-        elif want_pool:
-            with make_pool() as pool:
                 result = greedy_solve(
                     graph, k=k, variant=variant, strategy=strategy,
-                    must_retain=must_retain, exclude=exclude,
-                    tracer=tracer, kernels=kernels, parallel=pool,
+                    must_retain=must_retain, exclude=exclude, tracer=tracer,
+                    kernels=kernels, checkpoint=checkpoint, guard=guard,
                 )
-        else:
-            result = greedy_solve(
-                graph, k=k, variant=variant, strategy=strategy,
-                must_retain=must_retain, exclude=exclude, tracer=tracer,
-                kernels=kernels,
-            )
+    except SolverInterrupted as exc:
+        # The guard tripped with on_trigger="raise": attach telemetry to
+        # the partial result so the caller loses nothing but the tail.
+        metrics.incr("facade.interrupted")
+        if exc.partial is not None:
+            exc.partial = dataclasses.replace(exc.partial, telemetry=telemetry)
+        raise
 
     metrics.incr("facade.calls")
     metrics.incr(f"facade.dispatch.{result.strategy}")
+    if result.interrupted:
+        metrics.incr("facade.interrupted")
     return dataclasses.replace(result, telemetry=telemetry)

@@ -12,6 +12,7 @@ retained list, the achieved cover, and the per-item coverage table
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Hashable, List, Optional, Union
 
@@ -52,12 +53,15 @@ class RetainedInventoryReport:
             variant was fixed by the caller).
         graph: the preference graph the adaptation engine built.
         result: the solver output (ordered retained list + metadata).
+        k_clamped_from: the originally requested ``k`` when it exceeded
+            the catalog size and was clamped down (``None`` otherwise).
     """
 
     variant: Variant
     recommendation: Optional[VariantRecommendation]
     graph: PreferenceGraph
     result: SolveResult
+    k_clamped_from: Optional[int] = None
 
     @property
     def retained(self) -> List[Hashable]:
@@ -96,6 +100,16 @@ class RetainedInventoryReport:
             f"solver             : {self.result.strategy} "
             f"({self.result.wall_time_s:.3f}s)",
         ]
+        if self.k_clamped_from is not None:
+            lines.append(
+                f"requested k        : {self.k_clamped_from} "
+                f"(clamped to the {self.graph.n_items}-item catalog)"
+            )
+        if self.result.interrupted:
+            lines.append(
+                f"interrupted        : {self.result.interrupted_reason} "
+                f"(partial but valid greedy prefix)"
+            )
         if self.recommendation is not None:
             rec = self.recommendation
             score = (
@@ -120,6 +134,12 @@ class InventoryReducer:
     ``variant="auto"`` applies the paper's data-driven variant selection
     before building the graph (the variant affects the adaptation step's
     click normalization, so it must be fixed first).
+
+    ``checkpoint`` (a directory or
+    :class:`~repro.resilience.Checkpointer`) and ``guard`` (a
+    :class:`~repro.resilience.RunGuard`) are forwarded to the solver;
+    an interrupted run surfaces in
+    :meth:`RetainedInventoryReport.summary`.
     """
 
     def __init__(
@@ -134,6 +154,8 @@ class InventoryReducer:
         must_retain: Optional[list] = None,
         exclude: Optional[list] = None,
         tracer=None,
+        checkpoint=None,
+        guard=None,
     ) -> None:
         if (k is None) == (threshold is None):
             raise SolverError(
@@ -155,6 +177,8 @@ class InventoryReducer:
         self.must_retain = list(must_retain) if must_retain else None
         self.exclude = list(exclude) if exclude else None
         self.tracer = coerce_tracer(tracer)
+        self.checkpoint = checkpoint
+        self.guard = guard
 
     # ------------------------------------------------------------------
     def run(self, clickstream: Clickstream) -> RetainedInventoryReport:
@@ -186,6 +210,7 @@ class InventoryReducer:
                 recommendation=recommendation,
                 graph=graph,
                 result=result,
+                k_clamped_from=self._k_clamped_from(graph),
             )
         return report
 
@@ -201,20 +226,42 @@ class InventoryReducer:
             recommendation=None,
             graph=graph,
             result=result,
+            k_clamped_from=self._k_clamped_from(graph),
         )
+
+    def _k_clamped_from(self, graph) -> Optional[int]:
+        """The requested ``k`` when it exceeds the catalog (else None)."""
+        if self.k is not None and self.k > as_csr(graph).n_items:
+            return self.k
+        return None
 
     def solve_graph(self, graph, variant: Variant) -> SolveResult:
         """Dispatch to the fixed-k or threshold solver."""
         with self.tracer.span("pipeline.solve"):
             if self.k is not None:
-                k = min(self.k, as_csr(graph).n_items)
+                n_items = as_csr(graph).n_items
+                k = min(self.k, n_items)
+                if k < self.k:
+                    # Clamping is recoverable (retaining the whole
+                    # catalog is a valid answer) but must not be silent:
+                    # the caller asked for more items than exist.
+                    warnings.warn(
+                        f"k={self.k} exceeds the catalog size "
+                        f"({n_items} items); solving with k={n_items}",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    if self.tracer.enabled:
+                        self.tracer.incr("pipeline.k_clamped")
                 return greedy_solve(
                     graph, k=k, variant=variant, strategy=self.strategy,
                     must_retain=self.must_retain, exclude=self.exclude,
-                    tracer=self.tracer,
+                    tracer=self.tracer, checkpoint=self.checkpoint,
+                    guard=self.guard,
                 )
             assert self.threshold is not None
             return greedy_threshold_solve(
                 graph, threshold=self.threshold, variant=variant,
-                tracer=self.tracer,
+                tracer=self.tracer, checkpoint=self.checkpoint,
+                guard=self.guard,
             )

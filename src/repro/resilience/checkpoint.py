@@ -1,0 +1,351 @@
+"""Atomic greedy-state checkpoints and prefix-based resume.
+
+The greedy algorithm's prefix property (paper Section 3.2) makes
+checkpointing unusually clean: the solver's entire resumable state is
+the ordered list of selections committed so far, and *any* saved prefix
+is itself a valid greedy state.  A snapshot is therefore a small JSON
+document::
+
+    {"version": 1, "context": "<hex>", "epoch": 17, "digest": 123456,
+     "order": [4, 0, 9, ...], "cover": 0.8312}
+
+* ``context`` fingerprints the solve — graph structure and weights,
+  variant, must-retain and exclude sets — so a checkpoint can never be
+  replayed against a different instance;
+* ``epoch``/``digest`` are PR 3's epoch-stamped protocol values: the
+  selection count and the CRC-32 of the exact order, revalidated on
+  load;
+* ``order`` is the selection prefix replayed through ``AddNode`` on
+  resume.
+
+Writes are atomic (write temp file, flush, ``fsync``, ``os.replace``)
+so a crash mid-write can never corrupt the latest snapshot — at worst
+it leaves a stale ``.tmp`` file that the writer cleans up and the
+loader ignores.  :meth:`Checkpointer.load` scans the directory for the
+**longest valid prefix**: snapshots are tried newest-first and a
+corrupt or mismatching file falls back to the next older one instead
+of failing the resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..core.variants import Variant
+from ..errors import ReproError
+from ..observability import NULL_TRACER
+from .faults import active_faults
+
+#: Snapshot schema version.
+CHECKPOINT_VERSION = 1
+
+#: Filename shape: ``ckpt-<context>-<epoch>.json``.
+_FILE_PREFIX = "ckpt-"
+_TMP_PREFIX = ".tmp-ckpt-"
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written (write path only).
+
+    Load-side problems — corrupt files, foreign contexts — are *not*
+    errors: the loader simply skips to the next older snapshot, and a
+    directory with no usable snapshot resumes from scratch.
+    """
+
+
+def order_crc(order) -> int:
+    """CRC-32 of a selection order (mirrors ``GreedyState.order_digest``)."""
+    digest = 0
+    for node in order:
+        digest = zlib.crc32(struct.pack("<q", int(node)), digest)
+    return digest
+
+
+def solve_context(
+    csr,
+    variant,
+    seed_indices: Optional[np.ndarray] = None,
+    exclude_indices: Optional[np.ndarray] = None,
+) -> str:
+    """Fingerprint of one solve's inputs, as a hex string.
+
+    Covers the graph structure (``in_ptr``/``in_src``), the edge and
+    node weights, the variant, and the constraint sets — everything
+    that determines the greedy selection order.  ``k`` and
+    ``threshold`` are deliberately *excluded*: the prefix property
+    makes a snapshot valid for any stopping rule over the same
+    ordering, so a checkpoint taken during a ``k=500`` solve also
+    resumes a ``k=200`` or threshold solve of the same instance.
+    """
+    digest = zlib.crc32(struct.pack("<qq", csr.n_items, csr.n_edges))
+    digest = zlib.crc32(np.ascontiguousarray(csr.in_ptr).tobytes(), digest)
+    digest = zlib.crc32(np.ascontiguousarray(csr.in_src).tobytes(), digest)
+    digest = zlib.crc32(
+        np.ascontiguousarray(csr.in_weight).tobytes(), digest
+    )
+    digest = zlib.crc32(
+        np.ascontiguousarray(csr.node_weight).tobytes(), digest
+    )
+    digest = zlib.crc32(Variant.coerce(variant).value.encode("utf-8"), digest)
+    for indices in (seed_indices, exclude_indices):
+        values = (
+            np.sort(np.asarray(indices, dtype=np.int64))
+            if indices is not None else np.empty(0, dtype=np.int64)
+        )
+        digest = zlib.crc32(values.astype("<i8").tobytes(), digest)
+    return f"{digest & 0xFFFFFFFF:08x}"
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One validated snapshot loaded from disk."""
+
+    context: str
+    epoch: int
+    digest: int
+    order: List[int]
+    cover: float
+    path: Path
+
+
+class Checkpointer:
+    """Periodic atomic snapshots of greedy state, plus resume.
+
+    Args:
+        directory: checkpoint directory (created on first write).
+        every_rounds: snapshot cadence in committed selections.
+        every_s: optional additional wall-clock cadence — a snapshot is
+            taken when *either* trigger is due.
+        keep: newest snapshots retained per context (older ones are
+            pruned after each successful write).
+        resume: whether solvers consult :meth:`load` before starting;
+            with ``resume=False`` the checkpointer only writes.
+
+    One checkpointer may serve many sequential solves (the context
+    string keys each solve's snapshot family).  Write failures — real
+    ``OSError`` or injected via the ``checkpoint_write`` fault — are
+    counted and swallowed: losing a snapshot must never lose the solve.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        every_rounds: int = 8,
+        every_s: Optional[float] = None,
+        keep: int = 3,
+        resume: bool = True,
+    ) -> None:
+        if every_rounds < 1:
+            raise ReproError(
+                f"every_rounds must be >= 1, got {every_rounds}"
+            )
+        if every_s is not None and every_s <= 0:
+            raise ReproError(
+                f"every_s must be positive or None, got {every_s}"
+            )
+        if keep < 1:
+            raise ReproError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.every_rounds = every_rounds
+        self.every_s = every_s
+        self.keep = keep
+        self.resume = resume
+        self.written = 0
+        self.write_failures = 0
+        self.loads = 0
+        self._rounds_since = 0
+        self._last_write = time.monotonic()
+
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        """Reset the write cadence for a fresh solve."""
+        self._rounds_since = 0
+        self._last_write = time.monotonic()
+
+    def _due(self) -> bool:
+        if self._rounds_since >= self.every_rounds:
+            return True
+        if self.every_s is not None:
+            return time.monotonic() - self._last_write >= self.every_s
+        return False
+
+    def maybe_save(self, state, context: str, tracer=NULL_TRACER) -> bool:
+        """Snapshot when the cadence says so; swallow write failures."""
+        self._rounds_since += 1
+        if not self._due():
+            return False
+        return self.save(state, context, tracer=tracer)
+
+    def save(self, state, context: str, tracer=NULL_TRACER) -> bool:
+        """Write one snapshot now.  Returns False on a (counted) failure."""
+        self._rounds_since = 0
+        self._last_write = time.monotonic()
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "context": context,
+            "epoch": int(state.epoch),
+            "digest": int(state.order_digest),
+            "order": [int(v) for v in state.order],
+            "cover": float(state.cover),
+        }
+        final = self.directory / (
+            f"{_FILE_PREFIX}{context}-{payload['epoch']:010d}.json"
+        )
+        tmp = self.directory / (
+            f"{_TMP_PREFIX}{context}-{payload['epoch']:010d}-{os.getpid()}"
+        )
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            faults = active_faults()
+            if faults is not None and faults.checkpoint_write_fails():
+                raise CheckpointError(
+                    "injected checkpoint write failure (fault injection)"
+                )
+            os.replace(tmp, final)
+        except (OSError, CheckpointError) as exc:
+            self.write_failures += 1
+            if tracer.enabled:
+                tracer.incr("resilience.checkpoint_write_failures")
+                tracer.event(
+                    "checkpoint.write_failed", error=str(exc),
+                    epoch=payload["epoch"],
+                )
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        self.written += 1
+        if tracer.enabled:
+            tracer.incr("resilience.checkpoints_written")
+            tracer.event(
+                "checkpoint.written", epoch=payload["epoch"],
+                path=str(final),
+            )
+        self._prune(context)
+        return True
+
+    def _prune(self, context: str) -> None:
+        """Keep only the ``keep`` newest snapshots of this context."""
+        try:
+            snapshots = sorted(
+                self.directory.glob(f"{_FILE_PREFIX}{context}-*.json")
+            )
+        except OSError:
+            return
+        for stale in snapshots[: -self.keep]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def load(
+        self, context: str, *, n_items: Optional[int] = None,
+        tracer=NULL_TRACER,
+    ) -> Optional[Checkpoint]:
+        """The longest valid snapshot for ``context`` (or ``None``).
+
+        Candidate files are tried newest (highest epoch) first; a file
+        that is unreadable, structurally invalid, context-mismatched or
+        digest-inconsistent is skipped, so a truncated latest snapshot
+        falls back to the previous one instead of poisoning the resume.
+        """
+        self.loads += 1
+        try:
+            candidates = sorted(
+                self.directory.glob(f"{_FILE_PREFIX}{context}-*.json"),
+                reverse=True,
+            )
+        except OSError:
+            return None
+        for path in candidates:
+            snapshot = self._read_valid(path, context, n_items)
+            if snapshot is not None:
+                if tracer.enabled:
+                    tracer.event(
+                        "checkpoint.loaded", epoch=snapshot.epoch,
+                        path=str(path),
+                    )
+                return snapshot
+            if tracer.enabled:
+                tracer.incr("resilience.checkpoints_rejected")
+        return None
+
+    @staticmethod
+    def _read_valid(
+        path: Path, context: str, n_items: Optional[int]
+    ) -> Optional[Checkpoint]:
+        """Parse and validate one snapshot file; ``None`` when unusable."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("version") != CHECKPOINT_VERSION:
+            return None
+        if payload.get("context") != context:
+            return None
+        order = payload.get("order")
+        epoch = payload.get("epoch")
+        digest = payload.get("digest")
+        cover = payload.get("cover")
+        if (
+            not isinstance(order, list)
+            or not isinstance(epoch, int)
+            or not isinstance(digest, int)
+            or not isinstance(cover, (int, float))
+        ):
+            return None
+        if len(order) != epoch:
+            return None
+        try:
+            nodes = [int(v) for v in order]
+        except (TypeError, ValueError):
+            return None
+        if n_items is not None and any(
+            not (0 <= v < n_items) for v in nodes
+        ):
+            return None
+        if len(set(nodes)) != len(nodes):
+            return None
+        if order_crc(nodes) != digest:
+            return None
+        return Checkpoint(
+            context=context,
+            epoch=epoch,
+            digest=digest,
+            order=nodes,
+            cover=float(cover),
+            path=path,
+        )
+
+
+def coerce_checkpointer(
+    checkpoint: Union[None, str, Path, Checkpointer]
+) -> Optional[Checkpointer]:
+    """``None`` passes through; a path becomes a default Checkpointer."""
+    if checkpoint is None or isinstance(checkpoint, Checkpointer):
+        return checkpoint
+    if isinstance(checkpoint, (str, Path)):
+        return Checkpointer(checkpoint)
+    raise ReproError(
+        f"checkpoint must be a directory path or a Checkpointer, got "
+        f"{type(checkpoint).__name__}"
+    )

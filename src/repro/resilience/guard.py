@@ -1,0 +1,132 @@
+"""Cooperative run guards: wall-clock deadlines and RSS ceilings.
+
+A production solve on a YooChoose-scale catalog can run for hours; a
+batch scheduler that kills it at its budget gets *nothing* unless the
+solver degrades gracefully.  :class:`RunGuard` is the cooperative
+alternative: the solver consults the guard once per committed round
+and, when the deadline or memory ceiling has been crossed, either
+raises :class:`~repro.errors.SolverInterrupted` (carrying the partial
+result) or returns the partial :class:`~repro.core.result.SolveResult`
+flagged ``interrupted=True`` — caller's choice via ``on_trigger``.
+
+Because the check runs *after* each round, an interrupted solve always
+keeps every selection it paid for, and the prefix property makes that
+partial result a valid greedy solution for its own size.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional
+
+from ..errors import ReproError
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    _resource = None
+
+#: Accepted ``on_trigger`` modes.
+ON_TRIGGER = ("raise", "partial")
+
+
+def current_rss_mb() -> Optional[float]:
+    """Peak resident set size of this process in MiB (None when unknown)."""
+    if _resource is None:
+        return None
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+class RunGuard:
+    """Per-round budget guard for long-running solves.
+
+    Args:
+        deadline_s: wall-clock budget measured from :meth:`start`
+            (``None`` disables the deadline).
+        max_rss_mb: peak-RSS ceiling in MiB (``None`` disables; ignored
+            with a one-time ``None`` probe on hosts without
+            ``resource``).
+        on_trigger: ``"raise"`` — the solver raises
+            :class:`~repro.errors.SolverInterrupted` with the partial
+            result attached; ``"partial"`` — the solver returns the
+            partial result flagged ``interrupted=True``.
+
+    The guard is reusable across solves: each solver entry point calls
+    :meth:`start`, which re-arms the deadline.  Trip counts accumulate
+    over the guard's lifetime (``deadline_hits`` / ``rss_hits``) and
+    are mirrored to the tracer as ``guard.deadline_hits`` /
+    ``guard.rss_hits`` by the solver.
+    """
+
+    def __init__(
+        self,
+        *,
+        deadline_s: Optional[float] = None,
+        max_rss_mb: Optional[float] = None,
+        on_trigger: str = "raise",
+    ) -> None:
+        if deadline_s is not None and deadline_s < 0:
+            raise ReproError(
+                f"deadline_s must be >= 0 or None, got {deadline_s}"
+            )
+        if max_rss_mb is not None and max_rss_mb <= 0:
+            raise ReproError(
+                f"max_rss_mb must be positive or None, got {max_rss_mb}"
+            )
+        if on_trigger not in ON_TRIGGER:
+            raise ReproError(
+                f"unknown on_trigger {on_trigger!r}; expected one of "
+                f"{ON_TRIGGER}"
+            )
+        if deadline_s is None and max_rss_mb is None:
+            raise ReproError(
+                "RunGuard needs at least one of deadline_s / max_rss_mb"
+            )
+        self.deadline_s = deadline_s
+        self.max_rss_mb = max_rss_mb
+        self.on_trigger = on_trigger
+        self.deadline_hits = 0
+        self.rss_hits = 0
+        self._t0 = time.monotonic()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """(Re-)arm the deadline clock for a fresh solve."""
+        self._t0 = time.monotonic()
+
+    @property
+    def elapsed_s(self) -> float:
+        """Seconds since the guard was last armed."""
+        return time.monotonic() - self._t0
+
+    def trip_reason(self) -> Optional[str]:
+        """Why the solve should stop now, or ``None`` to keep going."""
+        if self.deadline_s is not None:
+            elapsed = self.elapsed_s
+            if elapsed > self.deadline_s:
+                self.deadline_hits += 1
+                return (
+                    f"deadline of {self.deadline_s}s exceeded "
+                    f"({elapsed:.3f}s elapsed)"
+                )
+        if self.max_rss_mb is not None:
+            rss = current_rss_mb()
+            if rss is not None and rss > self.max_rss_mb:
+                self.rss_hits += 1
+                return (
+                    f"RSS ceiling of {self.max_rss_mb} MiB exceeded "
+                    f"({rss:.1f} MiB peak)"
+                )
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RunGuard(deadline_s={self.deadline_s}, "
+            f"max_rss_mb={self.max_rss_mb}, "
+            f"on_trigger={self.on_trigger!r})"
+        )

@@ -53,6 +53,115 @@ class TestJsonl:
         with pytest.raises(ClickstreamFormatError, match="session_id"):
             read_jsonl(path)
 
+    def test_string_clicks_rejected(self, tmp_path):
+        # tuple("abc") would silently explode into per-character items.
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"session_id": "s1", "clicks": "abc"}\n')
+        with pytest.raises(ClickstreamFormatError, match=r":1.*list"):
+            read_jsonl(path)
+
+    def test_non_scalar_click_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"session_id": "s1", "clicks": [["a", "b"]]}\n'
+        )
+        with pytest.raises(ClickstreamFormatError, match=r":1.*scalar"):
+            read_jsonl(path)
+
+    def test_non_scalar_purchase_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"session_id": "s1", "clicks": [], "purchase": {"id": 1}}\n'
+        )
+        with pytest.raises(ClickstreamFormatError, match="purchase"):
+            read_jsonl(path)
+
+    def test_non_object_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('["not", "an", "object"]\n')
+        with pytest.raises(ClickstreamFormatError, match="object"):
+            read_jsonl(path)
+
+
+class TestLenientJsonl:
+    GOOD = '{"session_id": "s%d", "clicks": ["a"], "purchase": "a"}\n'
+
+    def _mixed_file(self, tmp_path, n_good=20, bad_lines=()):
+        path = tmp_path / "mixed.jsonl"
+        lines = [self.GOOD % i for i in range(n_good)]
+        for position, bad in bad_lines:
+            lines.insert(position, bad)
+        path.write_text("".join(lines))
+        return path
+
+    def test_skip_drops_bad_records(self, tmp_path):
+        path = self._mixed_file(
+            tmp_path, bad_lines=[(3, "not json\n")]
+        )
+        loaded = read_jsonl(path, on_error="skip")
+        assert loaded.n_sessions == 20
+        assert loaded.quarantine.quarantined == 1
+        assert loaded.quarantine.reasons == {"invalid-json": 1}
+
+    def test_quarantine_keeps_samples(self, tmp_path):
+        path = self._mixed_file(
+            tmp_path,
+            bad_lines=[
+                (0, "not json\n"),
+                (5, '{"session_id": "x", "clicks": "oops"}\n'),
+            ],
+        )
+        loaded = read_jsonl(path, on_error="quarantine", error_budget=0.5)
+        report = loaded.quarantine
+        assert report.quarantined == 2
+        assert report.reasons == {
+            "invalid-json": 1, "clicks-not-a-list": 1,
+        }
+        assert len(report.samples) == 2
+        assert any(":1:" in sample for sample in report.samples)
+        assert "quarantined 2/22" in report.summary()
+
+    def test_error_budget_aborts(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        lines = [self.GOOD % i for i in range(10)]
+        lines += ["garbage\n"] * 30
+        path.write_text("".join(lines))
+        with pytest.raises(ClickstreamFormatError, match="error budget"):
+            read_jsonl(path, on_error="skip", error_budget=0.05)
+
+    def test_error_budget_final_check(self, tmp_path):
+        # Too few records for the mid-stream check: the final check
+        # still fires.
+        path = tmp_path / "tiny.jsonl"
+        path.write_text(self.GOOD % 0 + "garbage\n")
+        with pytest.raises(ClickstreamFormatError, match="error budget"):
+            read_jsonl(path, on_error="skip", error_budget=0.1)
+
+    def test_unlimited_budget(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(self.GOOD % 0 + "garbage\n" * 50)
+        loaded = read_jsonl(path, on_error="skip", error_budget=None)
+        assert loaded.n_sessions == 1
+        assert loaded.quarantine.quarantined == 50
+
+    def test_strict_mode_has_no_report(self, tmp_path):
+        path = self._mixed_file(tmp_path)
+        loaded = read_jsonl(path)
+        assert loaded.quarantine is None
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        path = self._mixed_file(tmp_path)
+        with pytest.raises(ClickstreamFormatError, match="on_error"):
+            read_jsonl(path, on_error="ignore")
+
+    def test_report_to_dict(self, tmp_path):
+        path = self._mixed_file(tmp_path, bad_lines=[(2, "junk\n")])
+        loaded = read_jsonl(path, on_error="quarantine")
+        payload = loaded.quarantine.to_dict()
+        assert payload["quarantined"] == 1
+        assert payload["total"] == 21
+        assert payload["reasons"] == {"invalid-json": 1}
+
 
 class TestYoochoose:
     def test_roundtrip(self, stream, tmp_path):
@@ -108,3 +217,39 @@ class TestYoochoose:
         buys.write_text("")
         with pytest.raises(ClickstreamFormatError, match="columns"):
             read_yoochoose(clicks, buys)
+
+    def test_truncated_buys_rows_rejected(self, tmp_path):
+        # The buys format has 5 columns; a 3-4 column row is a
+        # truncated export, not a purchase.
+        clicks = tmp_path / "clicks.dat"
+        buys = tmp_path / "buys.dat"
+        clicks.write_text("1,t,100,0\n")
+        buys.write_text("1,t,100\n")
+        with pytest.raises(ClickstreamFormatError, match="5 columns"):
+            read_yoochoose(clicks, buys)
+
+    def test_truncated_buys_quarantined_not_purchased(self, tmp_path):
+        clicks = tmp_path / "clicks.dat"
+        buys = tmp_path / "buys.dat"
+        clicks.write_text("1,t,100,0\n2,t,200,0\n")
+        buys.write_text("1,t,100,0\n2,t,200,0,1\n")  # first is 4-col
+        loaded = read_yoochoose(
+            clicks, buys, on_error="quarantine", error_budget=0.5
+        )
+        by_id = {s.session_id: s for s in loaded}
+        assert by_id["1"].purchase is None  # truncated row: no purchase
+        assert by_id["2"].purchase == "200"
+        report = loaded.quarantine
+        assert report.reasons == {"buys-short-row": 1}
+        assert any("buys" in sample for sample in report.samples)
+
+    def test_lenient_short_clicks_row(self, tmp_path):
+        clicks = tmp_path / "clicks.dat"
+        buys = tmp_path / "buys.dat"
+        clicks.write_text("1,t\n2,t,200,0\n")
+        buys.write_text("")
+        loaded = read_yoochoose(
+            clicks, buys, on_error="skip", error_budget=0.9
+        )
+        assert loaded.n_sessions == 1
+        assert loaded.quarantine.reasons == {"clicks-short-row": 1}

@@ -61,9 +61,24 @@ class TestRun:
 
     def test_k_clamped_to_catalog(self, independent_stream):
         reducer = InventoryReducer(k=10_000, variant="independent")
-        report = reducer.run(independent_stream)
+        with pytest.warns(RuntimeWarning, match="exceeds the catalog"):
+            report = reducer.run(independent_stream)
         assert len(report.retained) == report.graph.n_items
         assert report.cover == pytest.approx(1.0)
+
+    def test_k_clamp_recorded_in_report(self, independent_stream):
+        reducer = InventoryReducer(k=10_000, variant="independent")
+        with pytest.warns(RuntimeWarning):
+            report = reducer.run(independent_stream)
+        assert report.k_clamped_from == 10_000
+        assert "10000" in report.summary()
+        assert "clamped" in report.summary()
+
+    def test_unclamped_k_not_flagged(self, independent_stream):
+        reducer = InventoryReducer(k=10, variant="independent")
+        report = reducer.run(independent_stream)
+        assert report.k_clamped_from is None
+        assert "clamped" not in report.summary()
 
     def test_fixed_variant_skips_recommendation(self, independent_stream):
         reducer = InventoryReducer(k=10, variant="independent")
@@ -87,6 +102,33 @@ class TestRunGraph:
 
         with pytest.raises(GraphValidationError):
             reducer.run_graph(bad, "independent")
+
+    def test_invalid_variant_rejected(self, figure1):
+        reducer = InventoryReducer(k=2, variant="normalized")
+        with pytest.raises(ValueError, match="unknown Preference Cover"):
+            reducer.run_graph(figure1, "bogus")
+
+    def test_threshold_with_constraints_rejected(self):
+        with pytest.raises(SolverError, match="fixed-k"):
+            InventoryReducer(threshold=0.5, must_retain=["a"])
+        with pytest.raises(SolverError, match="fixed-k"):
+            InventoryReducer(threshold=0.5, exclude=["b"])
+
+    def test_run_graph_clamp_and_interrupt_surface(self, figure1):
+        from repro.resilience import RunGuard
+
+        reducer = InventoryReducer(
+            k=100,
+            variant="normalized",
+            guard=RunGuard(deadline_s=0, on_trigger="partial"),
+        )
+        with pytest.warns(RuntimeWarning, match="exceeds the catalog"):
+            report = reducer.run_graph(figure1, "normalized")
+        assert report.k_clamped_from == 100
+        assert report.result.interrupted
+        assert len(report.retained) == 1  # one round, then the guard trips
+        assert "interrupted" in report.summary()
+        assert "deadline" in report.summary()
 
 
 class TestReport:
