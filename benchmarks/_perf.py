@@ -82,16 +82,23 @@ def host_fingerprint(kernel_backends) -> Dict:
     }
 
 
-def load_trajectory(path: Optional[Path] = None) -> Dict:
-    """Read the trajectory file, or an empty skeleton when absent."""
+def load_trajectory(
+    path: Optional[Path] = None, *, schema: str = SCHEMA
+) -> Dict:
+    """Read a trajectory file, or an empty skeleton when absent.
+
+    ``schema`` selects which trajectory family the file must belong to
+    (``repro-bench-core/1`` for the kernel harness, ``repro-bench-serve/1``
+    for the serving harness); a mismatch is an error, not a silent reset.
+    """
     path = path or BENCH_CORE_PATH
     if not path.exists():
-        return {"schema": SCHEMA, "runs": []}
+        return {"schema": schema, "runs": []}
     with open(path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
-    if data.get("schema") != SCHEMA or not isinstance(data.get("runs"), list):
+    if data.get("schema") != schema or not isinstance(data.get("runs"), list):
         raise ValueError(
-            f"{path} is not a {SCHEMA} trajectory file"
+            f"{path} is not a {schema} trajectory file"
         )
     return data
 
@@ -104,10 +111,11 @@ def append_run(
     label: str = "",
     smoke: bool = False,
     path: Optional[Path] = None,
+    schema: str = SCHEMA,
 ) -> Dict:
     """Append one run to the trajectory file and return the run row."""
     path = path or BENCH_CORE_PATH
-    data = load_trajectory(path)
+    data = load_trajectory(path, schema=schema)
     run = {
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "label": label,

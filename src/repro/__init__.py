@@ -57,8 +57,10 @@ from .errors import (
     ClickstreamFormatError,
     GraphValidationError,
     ReproError,
+    ServingError,
     SolverError,
     UnknownItemError,
+    VariantError,
 )
 from .facade import solve
 from .observability import (
@@ -68,11 +70,18 @@ from .observability import (
     Telemetry,
 )
 from .pipeline import InventoryReducer, RetainedInventoryReport
+from .serving import (
+    AssortmentService,
+    ServingFrontend,
+    SolutionSnapshot,
+    SolutionStore,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AdaptationError",
+    "AssortmentService",
     "Clickstream",
     "ConsumerModel",
     "DataAdaptationEngine",
@@ -94,12 +103,17 @@ __all__ = [
     "ParallelGainEvaluator",
     "PreferenceGraph",
     "ReproError",
+    "ServingError",
+    "ServingFrontend",
+    "SolutionSnapshot",
+    "SolutionStore",
     "SolveResult",
     "SolverError",
     "SolverTrace",
     "Telemetry",
     "UnknownItemError",
     "Variant",
+    "VariantError",
     "as_csr",
     "available_backends",
     "brute_force_solve",

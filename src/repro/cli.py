@@ -13,7 +13,11 @@ Commands mirror the system architecture:
 * ``check``       — correctness harnesses; ``--differential`` proves all
   strategy x backend combinations select identical sets on random
   instances, ``--resilience`` proves killed+resumed solves match clean
-  ones (CI runs both at ``--smoke`` size).
+  ones, ``--serving`` proves served answers equal offline recomputation
+  (CI runs all three at ``--smoke`` size).
+* ``serve``       — the assortment serving layer: solve once, then
+  answer a synthetic async query workload from the cached snapshot with
+  micro-batching, optional drift periods and a telemetry report.
 """
 
 from __future__ import annotations
@@ -243,11 +247,119 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import time as _time
+
+    import numpy as np
+
+    from .clickstream.drift import random_delta
+    from .serving import AssortmentService, ServingFrontend
+
+    if args.graph:
+        graph = read_graph_json(args.graph)
+    else:
+        from .workloads.graphs import random_preference_graph
+
+        graph = random_preference_graph(
+            args.items, variant=args.variant, seed=args.seed
+        )
+    if args.k is None and args.threshold is None:
+        args.k = min(50, max(1, graph.n_items // 2))
+    service = AssortmentService(
+        graph,
+        variant=args.variant,
+        k=args.k,
+        threshold=args.threshold,
+    )
+    frontend = ServingFrontend(
+        service,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+    )
+    rng = np.random.default_rng(args.seed)
+    item_ids = list(service.graph.items())
+    periods = args.drift_periods + 1
+    per_period = max(1, args.requests // periods)
+
+    async def run() -> dict:
+        rejected = 0
+        answered = 0
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, service.ensure)  # warm start
+        start = _time.perf_counter()
+        async with frontend:
+            for period in range(periods):
+                sent = 0
+                while sent < per_period:
+                    wave = min(args.concurrency, per_period - sent)
+                    picks = rng.choice(len(item_ids), size=wave)
+                    coros = []
+                    for index in picks.tolist():
+                        try:
+                            coros.append(
+                                frontend.covered_probability(
+                                    item_ids[index]
+                                )
+                            )
+                        except ReproError:
+                            rejected += 1
+                    answers = await asyncio.gather(
+                        *coros, return_exceptions=True
+                    )
+                    answered += sum(
+                        1 for a in answers if not isinstance(a, Exception)
+                    )
+                    rejected += sum(
+                        1 for a in answers if isinstance(a, Exception)
+                    )
+                    sent += wave
+                if period < args.drift_periods:
+                    delta = random_delta(
+                        service.graph, sigma=args.drift_sigma,
+                        seed=int(rng.integers(0, 2**31 - 1)),
+                        sequence=period + 1,
+                    )
+                    await frontend._apply_delta(delta)
+        elapsed = _time.perf_counter() - start
+        return {
+            "answered": answered,
+            "rejected": rejected,
+            "elapsed_s": elapsed,
+            "throughput_rps": answered / elapsed if elapsed > 0 else 0.0,
+        }
+
+    workload = asyncio.run(run())
+    metrics = service.metrics
+    latency = metrics.histogram("serving.request_latency_s")
+    batches = metrics.histogram("serving.batch_size")
+    report = {
+        "variant": Variant.coerce(args.variant).value,
+        "k": args.k,
+        "threshold": args.threshold,
+        "n_items": service.graph.n_items,
+        "workload": workload,
+        "latency_s": {"p50": latency.p50, "p99": latency.p99,
+                      "mean": latency.mean},
+        "batch_size": {"p50": batches.p50, "p99": batches.p99,
+                       "mean": batches.mean, "max": batches.max},
+        "store": service.stats(),
+        "refresh_failures": service.refresh_failures,
+    }
+    payload = json.dumps(report, indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    print(payload)
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
-    if not args.differential and not args.resilience:
+    if not args.differential and not args.resilience and not args.serving:
         print(
-            "error: nothing to check; pass --differential and/or "
-            "--resilience",
+            "error: nothing to check; pass --differential, --resilience "
+            "and/or --serving",
             file=sys.stderr,
         )
         return 2
@@ -290,6 +402,23 @@ def _cmd_check(args: argparse.Namespace) -> int:
             log=print if args.verbose else None,
         )
         print("resilience " + report.summary())
+        ok = ok and report.ok
+    if args.serving:
+        from .evaluation.serving_check import run_serving_differential
+
+        if args.smoke:
+            s_instances = instances if instances is not None else 8
+            s_max_items = max_items if max_items is not None else 60
+        else:
+            s_instances = instances if instances is not None else 50
+            s_max_items = max_items if max_items is not None else 140
+        report = run_serving_differential(
+            instances=s_instances,
+            max_items=s_max_items,
+            seed=args.seed,
+            log=print if args.verbose else None,
+        )
+        print(report.summary())
         ok = ok and report.ok
     return 0 if ok else 1
 
@@ -477,6 +606,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the crash/resume differential harness "
                             "(kill at a random round, resume from "
                             "checkpoints, compare with the clean solve)")
+    check.add_argument("--serving", action="store_true",
+                       help="run the serving differential harness "
+                            "(served answers must equal offline "
+                            "cover recomputation exactly)")
     check.add_argument("--smoke", action="store_true",
                        help="CI-sized sweep (fewer/smaller instances)")
     check.add_argument("--instances", type=int, default=None,
@@ -495,6 +628,43 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--verbose", action="store_true",
                        help="print one progress line per instance")
     check.set_defaults(func=_cmd_check)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve assortment queries from a cached solve snapshot",
+    )
+    serve.add_argument("graph", nargs="?", default=None,
+                       help="preference-graph JSON (omit for a synthetic "
+                            "instance)")
+    serve.add_argument("--variant",
+                       choices=["independent", "normalized"],
+                       default="independent")
+    serve.add_argument("-k", type=int, default=None,
+                       help="retained-set size (default 50 when neither "
+                            "-k nor --threshold is given)")
+    serve.add_argument("--threshold", type=float, default=None,
+                       help="cover target instead of -k")
+    serve.add_argument("--items", type=int, default=500,
+                       help="synthetic instance size (no graph file)")
+    serve.add_argument("--requests", type=int, default=2000,
+                       help="total queries in the synthetic workload")
+    serve.add_argument("--concurrency", type=int, default=64,
+                       help="concurrent in-flight queries per wave")
+    serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                       help="micro-batching window in milliseconds")
+    serve.add_argument("--max-batch", type=int, default=256,
+                       help="max queries answered per vectorized call")
+    serve.add_argument("--max-pending", type=int, default=1024,
+                       help="admission-control queue ceiling")
+    serve.add_argument("--drift-periods", type=int, default=0,
+                       help="apply this many graph deltas mid-workload "
+                            "(exercises incremental refresh + hot swap)")
+    serve.add_argument("--drift-sigma", type=float, default=0.15,
+                       help="popularity shock size per drift period")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("-o", "--output", default=None,
+                       help="also write the JSON report to this file")
+    serve.set_defaults(func=_cmd_serve)
 
     stats = sub.add_parser("stats", help="dataset statistics")
     stats.add_argument("--clickstream", default=None)

@@ -17,8 +17,8 @@ ground-truth preference graph, which is exactly what
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -51,6 +51,211 @@ class DriftConfig:
             raise ClickstreamFormatError(
                 "acceptance_churn must be in [0, 1]"
             )
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """A batch of point updates turning one preference graph into another.
+
+    This is the serving layer's invalidation currency: a delta feed
+    (consecutive periods of a :class:`DriftingMarket`, a diff of two
+    observed graphs, or a synthetic :func:`random_delta`) tells the
+    :class:`~repro.serving.AssortmentService` that its active snapshot
+    no longer describes the market, triggering an incremental re-solve.
+
+    Attributes:
+        node_weights: items whose request probability changed, mapped to
+            the new weight (items unknown to the target graph are
+            inserted).
+        edge_updates: ``(source, target, weight)`` triples to upsert.
+        edge_removals: ``(source, target)`` pairs to delete.
+        sequence: monotonically increasing feed position; consumers use
+            it to discard stale or duplicated deltas.
+    """
+
+    node_weights: Mapping[Hashable, float] = field(default_factory=dict)
+    edge_updates: Tuple[Tuple[Hashable, Hashable, float], ...] = ()
+    edge_removals: Tuple[Tuple[Hashable, Hashable], ...] = ()
+    sequence: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        """True when applying the delta would change nothing."""
+        return not (
+            self.node_weights or self.edge_updates or self.edge_removals
+        )
+
+    @property
+    def n_changes(self) -> int:
+        """Total number of point updates carried by the delta."""
+        return (
+            len(self.node_weights)
+            + len(self.edge_updates)
+            + len(self.edge_removals)
+        )
+
+    def apply_to(self, graph: PreferenceGraph) -> PreferenceGraph:
+        """Apply every update to ``graph`` in place and return it.
+
+        Removals run last so an update+removal pair in one delta nets to
+        the removal (matching how :func:`graph_delta` emits diffs).
+        """
+        for item, weight in self.node_weights.items():
+            graph.add_item(item, weight)
+        for source, target, weight in self.edge_updates:
+            graph.add_edge(source, target, weight)
+        for source, target in self.edge_removals:
+            graph.remove_edge(source, target)
+        return graph
+
+    # -- wire form (the delta-feed transport) ---------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready payload; node weights as pairs to keep item types."""
+        return {
+            "sequence": self.sequence,
+            "node_weights": [
+                [item, weight] for item, weight in self.node_weights.items()
+            ],
+            "edge_updates": [list(edge) for edge in self.edge_updates],
+            "edge_removals": [list(edge) for edge in self.edge_removals],
+        }
+
+    def to_json(self) -> str:
+        """One feed line: the :meth:`to_dict` payload as compact JSON."""
+        import json
+
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GraphDelta":
+        """Parse a :meth:`to_dict` payload, validating shapes strictly."""
+        try:
+            node_weights = {
+                item: float(weight)
+                for item, weight in payload.get("node_weights", [])
+            }
+            edge_updates = tuple(
+                (source, target, float(weight))
+                for source, target, weight in payload.get("edge_updates", [])
+            )
+            edge_removals = tuple(
+                (source, target)
+                for source, target in payload.get("edge_removals", [])
+            )
+            sequence = int(payload.get("sequence", 0))
+        except (TypeError, ValueError) as exc:
+            raise ClickstreamFormatError(
+                f"malformed GraphDelta payload: {exc}"
+            ) from exc
+        return cls(
+            node_weights=node_weights,
+            edge_updates=edge_updates,
+            edge_removals=edge_removals,
+            sequence=sequence,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "GraphDelta":
+        """Parse one feed line (raises ClickstreamFormatError when corrupt)."""
+        import json
+
+        try:
+            payload = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ClickstreamFormatError(
+                f"delta feed line is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ClickstreamFormatError(
+                f"delta feed line must be a JSON object, "
+                f"got {type(payload).__name__}"
+            )
+        return cls.from_dict(payload)
+
+
+def graph_delta(
+    old: PreferenceGraph, new: PreferenceGraph, *, sequence: int = 0
+) -> GraphDelta:
+    """Diff two preference graphs into the delta turning ``old`` into ``new``.
+
+    Node removals are not modeled (the catalog only grows in this
+    system); an item present in ``old`` but absent from ``new`` raises
+    :class:`~repro.errors.ClickstreamFormatError` to surface corrupt
+    feeds early.
+    """
+    node_weights = {}
+    for item in new.items():
+        weight = new.node_weight(item)
+        if item not in old or old.node_weight(item) != weight:
+            node_weights[item] = weight
+    for item in old.items():
+        if item not in new:
+            raise ClickstreamFormatError(
+                f"delta feed cannot express removal of item {item!r}"
+            )
+    edge_updates = []
+    edge_removals = []
+    for source, target, weight in new.edges():
+        if not old.has_edge(source, target) \
+                or old.edge_weight(source, target) != weight:
+            edge_updates.append((source, target, weight))
+    for source, target, _ in old.edges():
+        if not new.has_edge(source, target):
+            edge_removals.append((source, target))
+    return GraphDelta(
+        node_weights=node_weights,
+        edge_updates=tuple(edge_updates),
+        edge_removals=tuple(edge_removals),
+        sequence=sequence,
+    )
+
+
+def random_delta(
+    graph: PreferenceGraph,
+    *,
+    sigma: float = 0.1,
+    edge_churn: float = 0.0,
+    seed: SeedLike = None,
+    sequence: int = 0,
+) -> GraphDelta:
+    """A synthetic drift step over ``graph``: log-normal popularity shocks
+    plus optional edge-weight churn.
+
+    Node weights are renormalized to sum to one after the shock, so the
+    emitted delta always produces a graph that still validates.  Used by
+    the serving tests and the ``repro serve`` synthetic workload.
+    """
+    if sigma < 0:
+        raise ClickstreamFormatError("sigma must be >= 0")
+    if not (0.0 <= edge_churn <= 1.0):
+        raise ClickstreamFormatError("edge_churn must be in [0, 1]")
+    rng = resolve_rng(seed)
+    items = list(graph.items())
+    weights = np.asarray(
+        [graph.node_weight(item) for item in items], dtype=np.float64
+    )
+    shocked = weights * rng.lognormal(0.0, sigma, size=weights.shape) \
+        if sigma > 0 else weights.copy()
+    shocked /= shocked.sum()
+    node_weights = {
+        item: float(w)
+        for item, w, old_w in zip(items, shocked.tolist(), weights.tolist())
+        if w != old_w
+    }
+    edge_updates = []
+    if edge_churn > 0:
+        # Churned edges are only ever scaled *down*, which preserves the
+        # (0, 1] range and the Normalized out-weight budget unconditionally.
+        for source, target, weight in graph.edges():
+            if rng.random() < edge_churn:
+                edge_updates.append(
+                    (source, target, float(weight * rng.uniform(0.5, 1.0)))
+                )
+    return GraphDelta(
+        node_weights=node_weights,
+        edge_updates=tuple(edge_updates),
+        sequence=sequence,
+    )
 
 
 class DriftingMarket:

@@ -1,0 +1,74 @@
+"""Fingerprints of a solve's full context (graph + question).
+
+A *context digest* identifies one solve completely: the graph content
+(via :meth:`~repro.core.csr.CSRGraph.content_digest`), the variant, the
+stopping rule and every parameter that can change the answer.  The
+facade stamps it onto :attr:`~repro.core.result.SolveResult.context_digest`
+and the serving layer keys its snapshot cache on the same string, so a
+cached solution can never be returned for a different graph or a
+different question.
+
+The digest is intentionally human-scannable::
+
+    f3a91c02:independent:k:8d2f1c44
+
+i.e. ``<graph>:<variant>:<stopping-rule>:<params>``.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+from .csr import as_csr
+from .variants import Variant
+
+
+def params_fingerprint(params: dict) -> str:
+    """Hex CRC of a canonicalized (sorted-key JSON) parameter mapping.
+
+    ``None`` values are dropped so absent and explicitly-``None``
+    parameters fingerprint identically.  Values must be JSON-encodable;
+    callers pass plain scalars, lists and dicts only.
+    """
+    live = {key: value for key, value in params.items() if value is not None}
+    blob = json.dumps(live, sort_keys=True, default=str).encode("utf-8")
+    return f"{zlib.crc32(blob) & 0xFFFFFFFF:08x}"
+
+
+def stopping_rule(k=None, threshold=None, budget=None) -> str:
+    """The canonical stopping-rule tag: ``k`` / ``threshold`` / ``budget``."""
+    if budget is not None:
+        return "budget"
+    if threshold is not None:
+        return "threshold"
+    return "k"
+
+
+def solve_context_digest(
+    graph,
+    variant: "Variant | str",
+    *,
+    k=None,
+    threshold=None,
+    constraints=None,
+    objective=None,
+) -> str:
+    """The full-context digest of one solve (see module docstring)."""
+    csr = as_csr(graph)
+    variant = Variant.coerce(variant)
+    params = params_fingerprint(
+        {
+            "k": k,
+            "threshold": threshold,
+            "constraints": constraints,
+            "objective": objective,
+        }
+    )
+    rule = stopping_rule(
+        k=k,
+        threshold=threshold,
+        budget=(constraints or {}).get("budget")
+        if isinstance(constraints, dict) else None,
+    )
+    return f"{csr.content_digest()}:{variant.value}:{rule}:{params}"

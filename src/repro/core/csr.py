@@ -44,6 +44,8 @@ class CSRGraph:
         "out_weight",
         "items",
         "_index_of",
+        "_validated",
+        "_digest",
     )
 
     def __init__(
@@ -66,6 +68,11 @@ class CSRGraph:
         self.out_weight = out_weight
         self.items = items
         self._index_of = {item: i for i, item in enumerate(items)}
+        # Validation outcomes (per variant, at the default tolerance) and
+        # the content digest are cached: the arrays below are frozen, so
+        # both are immutable properties of the instance.
+        self._validated = set()
+        self._digest = None
         for array in (
             node_weight, in_ptr, in_src, in_weight,
             out_ptr, out_dst, out_weight,
@@ -227,14 +234,31 @@ class CSRGraph:
             np.arange(self.n_items, dtype=np.int64), self.out_degrees()
         )
 
+    def is_validated(self, variant: "Variant | str") -> bool:
+        """Whether :meth:`validate` already succeeded for ``variant``.
+
+        Because the arrays are frozen at construction, a successful
+        validation holds for the lifetime of the instance; solvers use
+        this to skip the O(m) invariant sweep on repeat solves.
+        """
+        return Variant.coerce(variant) in self._validated
+
     def validate(
         self,
         variant: "Variant | str" = Variant.INDEPENDENT,
         *,
         tolerance: float = 1e-6,
     ) -> None:
-        """Array-level equivalent of ``PreferenceGraph.validate``."""
+        """Array-level equivalent of ``PreferenceGraph.validate``.
+
+        Successful runs at the default tolerance are memoized (the
+        instance is immutable), making repeat validation O(1) — the
+        fast path the serving refresh loop and :func:`repro.solve`
+        rely on.
+        """
         variant = Variant.coerce(variant)
+        if tolerance == 1e-6 and variant in self._validated:
+            return
         if self.n_items == 0:
             raise GraphValidationError("graph has no items")
         if np.any(self.node_weight < 0):
@@ -255,6 +279,32 @@ class CSRGraph:
                     f"Normalized variant requires out-weight sums <= 1, "
                     f"max is {worst:.9f}"
                 )
+        if tolerance == 1e-6:
+            self._validated.add(variant)
+
+    def content_digest(self) -> str:
+        """Hex fingerprint of the graph's structure and weights.
+
+        Covers the incoming CSR arrays and the node weights — everything
+        that determines solver behavior.  Computed once and cached (the
+        arrays are frozen); the serving layer keys solution snapshots on
+        it so a snapshot can never be served for a different graph.
+        """
+        if self._digest is None:
+            import struct
+            import zlib
+
+            digest = zlib.crc32(
+                struct.pack("<qq", self.n_items, self.n_edges)
+            )
+            for array in (
+                self.in_ptr, self.in_src, self.in_weight, self.node_weight,
+            ):
+                digest = zlib.crc32(
+                    np.ascontiguousarray(array).tobytes(), digest
+                )
+            self._digest = f"{digest & 0xFFFFFFFF:08x}"
+        return self._digest
 
     def to_preference_graph(self):
         """Convert back to the dictionary-backed representation."""

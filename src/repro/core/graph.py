@@ -44,6 +44,9 @@ class PreferenceGraph:
         self._out: Dict[Item, Dict[Item, float]] = {}
         self._in: Dict[Item, Dict[Item, float]] = {}
         self._edge_count = 0
+        # Variants validated at the default tolerance since the last
+        # mutation; any structural or weight change clears it.
+        self._validated: set = set()
 
     # ------------------------------------------------------------------
     # Construction
@@ -65,6 +68,7 @@ class PreferenceGraph:
             self._out[item] = {}
             self._in[item] = {}
         self._node_weight[item] = weight
+        self._validated.clear()
 
     def add_edge(self, source: Item, target: Item, weight: float) -> None:
         """Add the preference edge ``source -> target``.
@@ -94,6 +98,7 @@ class PreferenceGraph:
             self._edge_count += 1
         self._out[source][target] = weight
         self._in[target][source] = weight
+        self._validated.clear()
 
     def remove_edge(self, source: Item, target: Item) -> None:
         """Remove the edge ``source -> target`` (KeyError if absent)."""
@@ -103,6 +108,7 @@ class PreferenceGraph:
         except KeyError as exc:
             raise UnknownItemError((source, target)) from exc
         self._edge_count -= 1
+        self._validated.clear()
 
     @classmethod
     def from_weights(
@@ -135,6 +141,7 @@ class PreferenceGraph:
             )
         for item in self._node_weight:
             self._node_weight[item] /= total
+        self._validated.clear()
 
     # ------------------------------------------------------------------
     # Inspection
@@ -250,6 +257,8 @@ class PreferenceGraph:
           sum to at most ``1 + tolerance``.
         """
         variant = Variant.coerce(variant)
+        if tolerance == 1e-6 and variant in self._validated:
+            return
         if not self._node_weight:
             raise GraphValidationError("graph has no items")
         total = self.total_node_weight()
@@ -272,6 +281,12 @@ class PreferenceGraph:
                     f"Normalized variant requires out-weights of {source!r} "
                     f"to sum to <= 1, got {out_sum:.9f}"
                 )
+        if tolerance == 1e-6:
+            self._validated.add(variant)
+
+    def is_validated(self, variant: "Variant | str") -> bool:
+        """Whether :meth:`validate` succeeded since the last mutation."""
+        return Variant.coerce(variant) in self._validated
 
     # ------------------------------------------------------------------
     # Conversions

@@ -21,6 +21,14 @@ from .variants import Variant
 class SolveResult:
     """Result of running a Preference Cover solver.
 
+    ``SolveResult`` is a **frozen dataclass with a stable public
+    contract**: the field set below only grows (new optional fields with
+    defaults), existing fields never change name, type or meaning, and
+    every solver and facade path returns this type.  The serving layer
+    (``repro.serving``) snapshots results wholesale and depends on the
+    quartet ``selected`` / ``coverage`` / ``telemetry`` /
+    ``context_digest``; see ``docs/api.md`` ("API stability").
+
     Attributes:
         variant: the problem variant that was solved.
         k: the requested retained-set size.
@@ -51,6 +59,13 @@ class SolveResult:
             ``docs/resilience.md``).
         interrupted_reason: human-readable trigger (deadline / RSS
             ceiling) when ``interrupted`` is set.
+        context_digest: hex fingerprint of the solve's full context —
+            graph content, variant, stopping rule and parameters —
+            attached by the :func:`repro.solve` facade (and the
+            incremental solver); ``None`` when a solver was invoked
+            directly.  Two results with equal digests answer the same
+            question about the same graph, which is what the serving
+            layer keys its snapshot cache on.
     """
 
     variant: Variant
@@ -67,6 +82,18 @@ class SolveResult:
     telemetry: Optional[Telemetry] = None
     interrupted: bool = False
     interrupted_reason: Optional[str] = None
+    context_digest: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def selected(self) -> List[Hashable]:
+        """The retained items in selection order (stable public alias).
+
+        ``selected`` is the contract name the serving layer and external
+        consumers use; it always returns a fresh list, so callers may
+        mutate it freely without corrupting the frozen result.
+        """
+        return list(self.retained)
 
     # ------------------------------------------------------------------
     def item_coverage(self, node_weight: np.ndarray) -> np.ndarray:
@@ -116,6 +143,8 @@ class SolveResult:
         if self.interrupted:
             payload["interrupted"] = True
             payload["interrupted_reason"] = self.interrupted_reason
+        if self.context_digest is not None:
+            payload["context_digest"] = self.context_digest
         return payload
 
     def __repr__(self) -> str:

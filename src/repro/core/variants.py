@@ -22,6 +22,8 @@ from __future__ import annotations
 import enum
 from typing import Iterable
 
+from ..errors import VariantError
+
 
 class Variant(enum.Enum):
     """The two edge-dependency semantics studied in the paper."""
@@ -33,8 +35,14 @@ class Variant(enum.Enum):
     def coerce(cls, value: "Variant | str") -> "Variant":
         """Accept either a :class:`Variant` or its string name/value.
 
-        Raises :class:`ValueError` for anything unrecognized; matching is
-        case-insensitive and accepts the short aliases ``"ipc"``/``"npc"``.
+        This is the single normalization helper: every surface that
+        takes a variant parameter (facade, serving, CLI, pipeline)
+        funnels through it, so plain strings work anywhere a
+        :class:`Variant` is required.  Raises
+        :class:`~repro.errors.VariantError` (a :class:`SolverError`
+        that is also a :class:`ValueError`) for anything unrecognized;
+        matching is case-insensitive and accepts the short aliases
+        ``"ipc"``/``"npc"``.
         """
         if isinstance(value, cls):
             return value
@@ -51,9 +59,10 @@ class Variant(enum.Enum):
             }
             if key in aliases:
                 return aliases[key]
-        raise ValueError(
+        raise VariantError(
             f"unknown Preference Cover variant: {value!r} "
-            f"(expected 'independent' or 'normalized')"
+            f"(expected 'independent' or 'normalized', a Variant member, "
+            f"or one of the aliases 'ipc'/'npc')"
         )
 
     def match_probability(self, edge_weights: Iterable[float]) -> float:

@@ -34,6 +34,29 @@ class SolverError(ReproError):
     """
 
 
+class VariantError(SolverError, ValueError):
+    """An unrecognized Preference Cover variant was requested.
+
+    Raised by :meth:`repro.core.variants.Variant.coerce`, the single
+    normalization helper every string-accepting surface (facade,
+    serving, CLI) funnels through.  Subclasses :class:`ValueError` for
+    backward compatibility with callers that caught the historical
+    ad-hoc error, while joining the :class:`SolverError` taxonomy so
+    ``except ReproError`` handles it uniformly.
+    """
+
+
+class ServingError(SolverError):
+    """The serving layer cannot answer a query or refresh a snapshot.
+
+    Examples: a query arriving before any solution snapshot exists and
+    with cold solves disabled, a front end shedding load because its
+    admission queue is full, or a request submitted after shutdown.
+    Carries an actionable message telling the caller whether to retry,
+    back off, or warm the store first.
+    """
+
+
 class SolverInterrupted(ReproError):
     """A solve was stopped by a run guard before reaching its objective.
 

@@ -24,6 +24,7 @@ from typing import Hashable, List, Optional
 
 import numpy as np
 
+from ..core.context import solve_context_digest
 from ..core.csr import as_csr
 from ..core.gain import GreedyState
 from ..core.graph import PreferenceGraph
@@ -55,6 +56,7 @@ class IncrementalSolver:
         *,
         tolerance: float = 1e-12,
         tracer=None,
+        validate: bool = True,
     ) -> None:
         if not isinstance(graph, PreferenceGraph):
             raise SolverError(
@@ -66,6 +68,7 @@ class IncrementalSolver:
         self.variant = Variant.coerce(variant)
         self.tolerance = tolerance
         self.tracer = coerce_tracer(tracer)
+        self.validate = validate
         self._previous_order: Optional[List[Hashable]] = None
         self.last_reused_prefix = 0
         self.last_result: Optional[SolveResult] = None
@@ -114,7 +117,8 @@ class IncrementalSolver:
     def _solve_with_replay(
         self, previous: Optional[List[Hashable]]
     ) -> SolveResult:
-        self.graph.validate(self.variant)
+        if self.validate:
+            self.graph.validate(self.variant)
         csr = as_csr(self.graph)
         n = csr.n_items
         k = self.k
@@ -184,6 +188,7 @@ class IncrementalSolver:
             strategy="greedy-incremental",
             wall_time_s=elapsed,
             gain_evaluations=n,
+            context_digest=solve_context_digest(csr, self.variant, k=k),
         )
         self._previous_order = list(result.retained)
         self.last_reused_prefix = reused

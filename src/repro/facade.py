@@ -35,6 +35,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Mapping, Optional
 
+from .core.context import solve_context_digest
+from .core.csr import as_csr
 from .core.greedy import greedy_solve
 from .core.parallel import PARALLEL_BACKENDS
 from .core.threshold import greedy_threshold_solve
@@ -84,6 +86,7 @@ def solve(
     kernels=None,
     checkpoint=None,
     guard=None,
+    validated: bool = False,
 ):
     """Solve a Preference Cover problem through one unified entry point.
 
@@ -128,10 +131,19 @@ def solve(
             :class:`~repro.errors.SolverInterrupted` or returning the
             partial result flagged ``interrupted=True``, per the
             guard's ``on_trigger``.
+        validated: the graph's invariants are checked before solving
+            (raising :class:`~repro.errors.GraphValidationError` on
+            violation).  Successful checks are memoized per graph
+            object, so repeat solves over the same graph pay nothing;
+            pass ``validated=True`` to skip the check entirely when the
+            graph is known-valid — the fast path the serving refresh
+            loop uses so a fresh snapshot does not cost an extra O(m)
+            sweep.
 
     Returns:
         :class:`~repro.core.result.SolveResult` with
-        ``result.telemetry`` attached.
+        ``result.telemetry`` attached and ``result.context_digest``
+        stamped with the solve's full-context fingerprint.
 
     Raises:
         SolverError: conflicting or missing stopping rules
@@ -147,6 +159,9 @@ def solve(
             quota solves).
     """
     variant = Variant.coerce(variant)
+    graph = as_csr(graph)
+    if not validated:
+        graph.validate(variant)
     # Validate eagerly rather than deferring to ParallelGainEvaluator:
     # with workers unset (or <= 1) no pool is ever built, and a typo'd
     # backend would otherwise be accepted silently.
@@ -160,6 +175,12 @@ def solve(
 
     metrics = tracer.metrics if tracer is not None else MetricsRegistry()
     telemetry = Telemetry(metrics=metrics, trace=tracer)
+    context_digest = solve_context_digest(
+        graph, variant,
+        k=k, threshold=threshold,
+        constraints=dict(constraints) if constraints else None,
+        objective=dict(goal) if goal else None,
+    )
 
     must_retain = options.pop("must_retain", None)
     exclude = options.pop("exclude", None)
@@ -309,11 +330,16 @@ def solve(
         # the partial result so the caller loses nothing but the tail.
         metrics.incr("facade.interrupted")
         if exc.partial is not None:
-            exc.partial = dataclasses.replace(exc.partial, telemetry=telemetry)
+            exc.partial = dataclasses.replace(
+                exc.partial, telemetry=telemetry,
+                context_digest=context_digest,
+            )
         raise
 
     metrics.incr("facade.calls")
     metrics.incr(f"facade.dispatch.{result.strategy}")
     if result.interrupted:
         metrics.incr("facade.interrupted")
-    return dataclasses.replace(result, telemetry=telemetry)
+    return dataclasses.replace(
+        result, telemetry=telemetry, context_digest=context_digest
+    )

@@ -80,9 +80,19 @@ class Timer:
 
 
 class Histogram:
-    """Streaming summary statistics of observed values."""
+    """Streaming summary statistics plus approximate percentiles.
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    Exact ``count`` / ``total`` / ``min`` / ``max`` are maintained for
+    every observation.  Percentiles come from a bounded ring buffer of
+    the most recent :attr:`RESERVOIR_SIZE` observations, so memory stays
+    O(1) and the quantiles track the *current* regime — which is what
+    the serving layer's p50/p99 latency readouts want.
+    """
+
+    #: Ring-buffer capacity backing :meth:`percentile`.
+    RESERVOIR_SIZE = 512
+
+    __slots__ = ("name", "count", "total", "min", "max", "_reservoir")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -90,10 +100,15 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._reservoir: list = []
 
     def observe(self, value: float) -> None:
         """Fold one observation into the summary."""
         value = float(value)
+        if len(self._reservoir) < self.RESERVOIR_SIZE:
+            self._reservoir.append(value)
+        else:
+            self._reservoir[self.count % self.RESERVOIR_SIZE] = value
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
@@ -105,6 +120,33 @@ class Histogram:
     def mean(self) -> float:
         """Mean observed value (0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile ``q`` in [0, 100] over the reservoir.
+
+        ``None`` when the histogram is empty.  Exact while fewer than
+        :attr:`RESERVOIR_SIZE` values were observed; afterwards computed
+        over the most recent window of that size.
+        """
+        if not self._reservoir:
+            return None
+        if not (0.0 <= q <= 100.0):
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self._reservoir)
+        rank = min(
+            len(ordered) - 1, max(0, int(round(q / 100.0 * len(ordered))) - 1)
+        ) if q > 0 else 0
+        return ordered[rank]
+
+    @property
+    def p50(self) -> Optional[float]:
+        """Median of the reservoir window (None when empty)."""
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> Optional[float]:
+        """99th percentile of the reservoir window (None when empty)."""
+        return self.percentile(99.0)
 
     def __repr__(self) -> str:
         return (
@@ -191,6 +233,9 @@ class MetricsRegistry:
                     histogram.max is not None and histogram.max > mine.max
                 ):
                     mine.max = histogram.max
+                for value in histogram._reservoir:
+                    if len(mine._reservoir) < Histogram.RESERVOIR_SIZE:
+                        mine._reservoir.append(value)
 
     def __bool__(self) -> bool:
         return bool(self._counters or self._timers or self._histograms)
@@ -215,6 +260,8 @@ class MetricsRegistry:
                     "mean": self._histograms[name].mean,
                     "min": self._histograms[name].min,
                     "max": self._histograms[name].max,
+                    "p50": self._histograms[name].p50,
+                    "p99": self._histograms[name].p99,
                 }
                 for name in sorted(self._histograms)
             },

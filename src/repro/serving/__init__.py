@@ -1,0 +1,31 @@
+"""The assortment serving layer: solve once, answer queries forever.
+
+The offline side of this package computes a retained assortment; this
+subpackage is the online side that *serves* it:
+
+* :class:`SolutionStore` / :class:`SolutionSnapshot` — immutable solve
+  snapshots (retained set, per-item coverage vector, context digest)
+  behind an LRU+TTL cache keyed on the full solve context, hot-swapped
+  atomically;
+* :class:`AssortmentService` — ``query`` / ``covered_probability`` /
+  ``top_alternatives`` answered in O(degree) from precomputed coverage
+  vectors, never by re-solving; graph deltas trigger an incremental
+  background re-solve;
+* :class:`ServingFrontend` — an asyncio front end that micro-batches
+  concurrent requests into single vectorized snapshot reads, with
+  admission control and a degrade-to-last-good-snapshot failure mode.
+
+See ``docs/serving.md`` for the architecture walk-through and
+``repro serve`` for the CLI entry point.
+"""
+
+from .frontend import ServingFrontend
+from .service import AssortmentService
+from .store import SolutionSnapshot, SolutionStore
+
+__all__ = [
+    "AssortmentService",
+    "ServingFrontend",
+    "SolutionSnapshot",
+    "SolutionStore",
+]

@@ -1,0 +1,285 @@
+"""Async serving front end: micro-batched queries over one event loop.
+
+:class:`ServingFrontend` puts an asyncio face on a synchronous
+:class:`~repro.serving.service.AssortmentService`.  Concurrent
+``covered_probability`` awaiters are coalesced by a micro-batching
+drain loop — the first request opens a batch window
+(``batch_window_s``), everything arriving inside it joins the batch (up
+to ``max_batch``), and the whole batch is answered by **one**
+vectorized read of the active snapshot's coverage vector.  Admission
+control bounds the in-flight queue: beyond ``max_pending`` requests the
+front end sheds load with :class:`~repro.errors.ServingError` instead
+of growing without bound, mirroring the RunGuard philosophy of failing
+fast and observably.
+
+A :class:`~repro.clickstream.drift.GraphDelta` feed can run alongside:
+deltas are applied (and the snapshot re-solved) in a worker thread so
+queries keep draining, and every failure mode — corrupted feed lines,
+an injected crash mid-refresh — degrades to the last good snapshot
+rather than dropping in-flight queries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import AsyncIterator, Hashable, Iterable, List, Optional, Union
+
+from ..clickstream.drift import GraphDelta
+from ..errors import ReproError, ServingError
+from ..resilience.faults import active_faults
+from .service import AssortmentService
+
+
+class ServingFrontend:
+    """Micro-batching asyncio front end over an :class:`AssortmentService`.
+
+    Args:
+        service: the snapshot-backed query service to drive.
+        batch_window_s: how long the drain loop holds a batch open after
+            its first request (2 ms default — long enough to coalesce a
+            burst, short enough to be invisible in p50).
+        max_batch: upper bound on requests answered per vectorized call.
+        max_pending: admission-control ceiling on queued requests;
+            submissions beyond it are rejected with ``ServingError``.
+        metrics: telemetry registry; defaults to the service's own.
+    """
+
+    def __init__(
+        self,
+        service: AssortmentService,
+        *,
+        batch_window_s: float = 0.002,
+        max_batch: int = 256,
+        max_pending: int = 1024,
+        metrics=None,
+    ) -> None:
+        if batch_window_s < 0:
+            raise ServingError("batch_window_s must be >= 0")
+        if max_batch < 1:
+            raise ServingError("max_batch must be >= 1")
+        if max_pending < 1:
+            raise ServingError("max_pending must be >= 1")
+        self.service = service
+        self.batch_window_s = batch_window_s
+        self.max_batch = max_batch
+        self.max_pending = max_pending
+        self.metrics = metrics if metrics is not None else service.metrics
+        self._queue: Optional[asyncio.Queue] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the drain loop on the running event loop (idempotent)."""
+        if self._closed:
+            raise ServingError("front end is closed")
+        if self._drain_task is None or self._drain_task.done():
+            self._queue = asyncio.Queue()
+            self._stop = asyncio.Event()
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self._drain_loop()
+            )
+
+    async def aclose(self) -> None:
+        """Answer what is queued, then stop the drain loop."""
+        self._closed = True
+        if self._drain_task is not None:
+            self._stop.set()
+            # Wake the drain loop if it is blocked on an empty queue.
+            await self._queue.put(None)
+            await self._drain_task
+            self._drain_task = None
+
+    async def __aenter__(self) -> "ServingFrontend":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    def _submit(self, item: Hashable) -> "asyncio.Future":
+        if self._queue is None:
+            raise ServingError(
+                "front end not started; use 'async with frontend:' or "
+                "call start() from a running event loop"
+            )
+        if self._queue.qsize() >= self.max_pending:
+            self.metrics.incr("serving.rejected")
+            raise ServingError(
+                f"serving queue full ({self.max_pending} pending); "
+                f"shed load or raise max_pending"
+            )
+        future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((item, future, time.perf_counter()))
+        return future
+
+    async def covered_probability(self, item: Hashable) -> float:
+        """Awaitable point query, answered by the next micro-batch."""
+        return await self._submit(item)
+
+    async def query(self, item_ids: Iterable[Hashable]) -> List[dict]:
+        """Batched per-item report (one micro-batch per caller batch)."""
+        items = list(item_ids)
+        answers = await asyncio.gather(
+            *(self._submit(item) for item in items)
+        )
+        snapshot = self.service.ensure()
+        return [
+            {
+                "item": item,
+                "retained": snapshot.is_retained(item),
+                "covered_probability": float(probability),
+            }
+            for item, probability in zip(items, answers)
+        ]
+
+    async def top_alternatives(self, item: Hashable, limit: int = 5):
+        """Async pass-through to the service (O(degree), no batching)."""
+        return self.service.top_alternatives(item, limit)
+
+    # ------------------------------------------------------------------
+    # Drain loop
+    # ------------------------------------------------------------------
+    async def _drain_loop(self) -> None:
+        queue, stop = self._queue, self._stop
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await queue.get()
+            if first is None:
+                if stop.is_set() and queue.empty():
+                    return
+                continue
+            batch = [first]
+            deadline = loop.time() + self.batch_window_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0 and self.batch_window_s > 0:
+                    break
+                try:
+                    entry = queue.get_nowait() if remaining <= 0 else \
+                        await asyncio.wait_for(queue.get(), remaining)
+                except (asyncio.TimeoutError, asyncio.QueueEmpty):
+                    break
+                if entry is None:
+                    continue
+                batch.append(entry)
+            self._answer(batch)
+            if stop.is_set() and queue.empty():
+                return
+
+    def _answer(self, batch) -> None:
+        """Answer one micro-batch with a single vectorized snapshot read."""
+        items = [item for item, _, _ in batch]
+        self.metrics.observe("serving.batch_size", len(batch))
+        try:
+            answers = self.service.covered_probability_many(items)
+        except ReproError:
+            # One bad item must not poison its batch-mates: fall back to
+            # per-item answering so only the offender sees the error.
+            answers = None
+        now = time.perf_counter()
+        for position, (item, future, enqueued) in enumerate(batch):
+            if future.done():  # caller went away (cancelled/timed out)
+                continue
+            if answers is not None:
+                future.set_result(float(answers[position]))
+            else:
+                try:
+                    future.set_result(
+                        self.service.covered_probability(item)
+                    )
+                except ReproError as exc:
+                    future.set_exception(exc)
+            self.metrics.observe(
+                "serving.request_latency_s", now - enqueued
+            )
+
+    # ------------------------------------------------------------------
+    # Delta feed
+    # ------------------------------------------------------------------
+    def _parse_delta(
+        self, raw: Union[GraphDelta, dict, str]
+    ) -> Optional[GraphDelta]:
+        """Decode one feed entry; corrupt entries count and drop."""
+        try:
+            if isinstance(raw, GraphDelta):
+                return raw
+            if isinstance(raw, dict):
+                return GraphDelta.from_dict(raw)
+            injector = active_faults()
+            if injector is not None:
+                raw = injector.corrupt_record(raw)
+            return GraphDelta.from_json(raw)
+        except ReproError:
+            self.metrics.incr("serving.deltas_corrupt")
+            return None
+
+    async def _apply_delta(self, delta: GraphDelta) -> bool:
+        """Apply one delta off-loop; refresh failures degrade, not crash."""
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(
+                None, self.service.apply_delta, delta
+            )
+            return True
+        except ReproError:
+            # The service already counted the failure and kept the last
+            # good snapshot active; queries continue degraded.
+            return False
+
+    async def consume_deltas(
+        self, feed: AsyncIterator[Union[GraphDelta, dict, str]]
+    ) -> int:
+        """Drain a delta feed to exhaustion; returns applied-delta count."""
+        applied = 0
+        async for raw in feed:
+            delta = self._parse_delta(raw)
+            if delta is None or delta.is_empty:
+                continue
+            if await self._apply_delta(delta):
+                applied += 1
+        return applied
+
+    async def serve_forever(
+        self,
+        delta_feed: Optional[AsyncIterator] = None,
+        *,
+        stop: Optional[asyncio.Event] = None,
+    ) -> None:
+        """Serve until ``stop`` is set (and the delta feed is drained).
+
+        Starts the drain loop, solves the initial snapshot so the first
+        query is warm, consumes the optional delta feed as it arrives,
+        then waits for ``stop``.  Without a ``stop`` event the call
+        returns when the delta feed ends — or, with no feed either,
+        serves literally forever until cancelled.
+        """
+        self.start()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.service.ensure)
+        feed_task = None
+        if delta_feed is not None:
+            feed_task = loop.create_task(self.consume_deltas(delta_feed))
+        try:
+            if stop is not None:
+                await stop.wait()
+                if feed_task is not None:
+                    feed_task.cancel()
+            elif feed_task is not None:
+                await feed_task
+            else:
+                await asyncio.Event().wait()
+        finally:
+            if feed_task is not None:
+                try:
+                    await feed_task
+                except asyncio.CancelledError:
+                    pass
+            await self.aclose()
