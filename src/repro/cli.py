@@ -13,8 +13,11 @@ Commands mirror the system architecture:
 * ``check``       — correctness harnesses; ``--differential`` proves all
   strategy x backend combinations select identical sets on random
   instances, ``--resilience`` proves killed+resumed solves match clean
-  ones, ``--serving`` proves served answers equal offline recomputation
-  (CI runs all three at ``--smoke`` size).
+  ones, ``--serving`` proves served answers equal offline recomputation,
+  ``--fuzz`` runs the metamorphic fuzzer (adversarial instances checked
+  against the invariant registry, failures shrunk to replayable JSON
+  artifacts that ``--replay`` re-executes).  CI runs all of them at
+  ``--smoke`` size.
 * ``serve``       — the assortment serving layer: solve once, then
   answer a synthetic async query workload from the cached snapshot with
   micro-batching, optional drift periods and a telemetry report.
@@ -356,10 +359,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    if not args.differential and not args.resilience and not args.serving:
+    if args.replay is not None:
+        from .evaluation.fuzz import replay_artifact
+
+        violations = replay_artifact(args.replay)
+        if violations:
+            print(f"replay {args.replay}: still failing")
+            for violation in violations:
+                print(f"  {violation}")
+            return 1
+        print(f"replay {args.replay}: no longer reproduces")
+        return 0
+    if not (
+        args.differential or args.resilience or args.serving or args.fuzz
+    ):
         print(
-            "error: nothing to check; pass --differential, --resilience "
-            "and/or --serving",
+            "error: nothing to check; pass --differential, --resilience, "
+            "--serving and/or --fuzz (or --replay ARTIFACT)",
             file=sys.stderr,
         )
         return 2
@@ -416,6 +432,24 @@ def _cmd_check(args: argparse.Namespace) -> int:
             instances=s_instances,
             max_items=s_max_items,
             seed=args.seed,
+            log=print if args.verbose else None,
+        )
+        print(report.summary())
+        ok = ok and report.ok
+    if args.fuzz:
+        from .evaluation.fuzz import run_fuzz
+
+        if args.smoke:
+            f_rounds = args.rounds if args.rounds is not None else 25
+            f_max_items = max_items if max_items is not None else 32
+        else:
+            f_rounds = args.rounds if args.rounds is not None else 50
+            f_max_items = max_items if max_items is not None else 48
+        report = run_fuzz(
+            rounds=f_rounds,
+            seed=args.seed,
+            max_items=f_max_items,
+            artifact_dir=args.artifact_dir,
             log=print if args.verbose else None,
         )
         print(report.summary())
@@ -610,6 +644,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the serving differential harness "
                             "(served answers must equal offline "
                             "cover recomputation exactly)")
+    check.add_argument("--fuzz", action="store_true",
+                       help="run the metamorphic fuzzer (adversarial "
+                            "instances checked against the invariant "
+                            "registry; failures shrink to minimal "
+                            "replayable JSON artifacts)")
+    check.add_argument("--rounds", type=int, default=None,
+                       help="fuzz rounds (default: 50, or 25 with "
+                            "--smoke)")
+    check.add_argument("--replay", default=None, metavar="PATH",
+                       help="re-execute one dumped fuzz artifact "
+                            "instead of sweeping")
+    check.add_argument("--artifact-dir", default=None, metavar="DIR",
+                       help="where --fuzz dumps shrunken failure "
+                            "artifacts (default: no dumping)")
     check.add_argument("--smoke", action="store_true",
                        help="CI-sized sweep (fewer/smaller instances)")
     check.add_argument("--instances", type=int, default=None,

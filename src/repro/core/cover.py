@@ -18,6 +18,7 @@ from typing import Iterable, Union
 
 import numpy as np
 
+from ..errors import UnknownItemError
 from .csr import CSRGraph, as_csr
 from .variants import Variant
 
@@ -25,19 +26,33 @@ GraphLike = Union[CSRGraph, "PreferenceGraph"]  # noqa: F821 - doc alias
 
 
 def resolve_indices(csr: CSRGraph, retained: Iterable) -> np.ndarray:
-    """Map an iterable of item ids (or dense indices) to index array.
+    """Map an iterable of item ids (or dense indices) to an index array.
 
-    Integer inputs that are valid indices are passed through; everything
-    else is looked up through the graph's item table.  Duplicates are
+    Resolution is **id-first**: every element is looked up through the
+    graph's item table, and only an integer that is *not* an item id is
+    interpreted as a dense index (when in ``[0, n_items)``; anything
+    else raises :class:`~repro.errors.UnknownItemError`).  Id-first
+    ordering matters for graphs whose item ids are non-identity
+    integers — e.g. shuffled product ids — where an id and an index
+    with the same value name *different* nodes; ids always win.  On the
+    common default table (``items == range(n)``) the two semantics
+    coincide, so dense indices keep working everywhere.  Duplicates are
     removed while preserving first-occurrence order (the greedy order).
     """
     seen = set()
     out = []
     for item in retained:
-        if isinstance(item, (int, np.integer)) and 0 <= item < csr.n_items:
-            idx = int(item)
-        else:
+        try:
             idx = csr.index_of(item)
+        except (UnknownItemError, TypeError):
+            # Not an item id: fall back to dense-index semantics for
+            # plain integers (TypeError covers unhashable inputs, which
+            # can never be ids).
+            if isinstance(item, (int, np.integer)) \
+                    and 0 <= int(item) < csr.n_items:
+                idx = int(item)
+            else:
+                raise UnknownItemError(item) from None
         if idx not in seen:
             seen.add(idx)
             out.append(idx)

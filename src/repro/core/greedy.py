@@ -84,6 +84,13 @@ class _RoundHooks:
             )
         if self.faults is not None:
             self.faults.solver_round(state.size)
+            reason = self.faults.solver_stop(state.size)
+            if reason is not None:
+                if self.tracer.enabled:
+                    tracer = self.tracer
+                    tracer.incr("faults.stop_round_hits")
+                    tracer.event("solve.stop_injected", reason=reason)
+                return reason
         if self.guard is not None:
             reason = self.guard.trip_reason()
             if reason is not None:
@@ -93,6 +100,26 @@ class _RoundHooks:
                     self.tracer.event("solve.guard_trip", reason=reason)
                 return reason
         return None
+
+
+def finish_interrupted(stop_reason, guard, result: SolveResult) -> SolveResult:
+    """Return (or raise for) an interrupted solve's partial result.
+
+    A stop reason can come from sources other than the run guard — a
+    :class:`~repro.resilience.FaultInjector` ``stop_round`` fault, or
+    any future hook — so the guard must not be dereferenced just
+    because the solve was interrupted: only an actual guard configured
+    with ``on_trigger="raise"`` escalates; every other source keeps the
+    partial result.  Shared by :func:`greedy_solve` and
+    :func:`~repro.core.threshold.greedy_threshold_solve`.
+    """
+    if (
+        stop_reason is not None
+        and guard is not None
+        and guard.on_trigger == "raise"
+    ):
+        raise SolverInterrupted(stop_reason, partial=result)
+    return result
 
 
 def _make_hooks(
@@ -331,9 +358,7 @@ def greedy_solve(
         interrupted=stop_reason is not None,
         interrupted_reason=stop_reason,
     )
-    if stop_reason is not None and guard.on_trigger == "raise":
-        raise SolverInterrupted(stop_reason, partial=result)
-    return result
+    return finish_interrupted(stop_reason, guard, result)
 
 
 @keyword_only_shim("variant")

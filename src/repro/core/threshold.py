@@ -16,11 +16,16 @@ import time
 import numpy as np
 
 from .._compat import keyword_only_shim
-from ..errors import SolverError, SolverInterrupted
+from ..errors import SolverError
 from ..observability import coerce_tracer
 from .csr import as_csr
 from .gain import GreedyState
-from .greedy import _make_hooks, accelerated_step, prepare_accelerated_gains
+from .greedy import (
+    _make_hooks,
+    accelerated_step,
+    finish_interrupted,
+    prepare_accelerated_gains,
+)
 from .result import SolveResult
 from .variants import Variant
 
@@ -175,6 +180,4 @@ def greedy_threshold_solve(
         interrupted=stop_reason is not None,
         interrupted_reason=stop_reason,
     )
-    if stop_reason is not None and guard.on_trigger == "raise":
-        raise SolverInterrupted(stop_reason, partial=result)
-    return result
+    return finish_interrupted(stop_reason, guard, result)

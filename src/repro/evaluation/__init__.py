@@ -19,7 +19,24 @@ from .differential import (
     compare_results,
     run_differential,
 )
+from .fuzz import (
+    FuzzCase,
+    FuzzFailure,
+    FuzzReport,
+    generate_case,
+    replay_artifact,
+    run_fuzz,
+    shrink_case,
+)
 from .holdout import HoldoutReport, evaluate_holdout, split_clickstream
+from .invariants import (
+    INVARIANTS,
+    Invariant,
+    InvariantViolation,
+    SolveRecord,
+    check_record,
+    register_invariant,
+)
 from .metrics import (
     approximation_ratio,
     coverage_comparison,
@@ -40,6 +57,19 @@ __all__ = [
     "DifferentialReport",
     "compare_results",
     "run_differential",
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "generate_case",
+    "replay_artifact",
+    "run_fuzz",
+    "shrink_case",
+    "INVARIANTS",
+    "Invariant",
+    "InvariantViolation",
+    "SolveRecord",
+    "check_record",
+    "register_invariant",
     "InventoryAudit",
     "LoadBearingRow",
     "LostDemandRow",

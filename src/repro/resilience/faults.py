@@ -9,6 +9,10 @@ points:
   after committing its ``N``-th selection, emulating a process killed
   mid-solve (checkpoints written so far survive on disk, exactly as
   they would after a real ``SIGKILL``);
+* ``stop_round=N`` — the solver stops *gracefully* after committing
+  its ``N``-th selection and returns the partial result flagged
+  ``interrupted=True``, emulating any hook that asks a solve to halt
+  without a run guard being configured;
 * ``worker_crash=p`` — before each parallel gain round, one worker
   process is ``SIGKILL``-ed with probability ``p``, exercising the
   pool's supervision/restart path;
@@ -60,6 +64,7 @@ class InjectedCrash(ReproError):
 _SPEC_KEYS = {
     "seed": int,
     "kill_round": int,
+    "stop_round": int,
     "worker_crash": float,
     "recv_delay": float,
     "checkpoint_write": float,
@@ -75,6 +80,9 @@ class FaultInjector:
             of the seed and the order of hook calls.
         kill_round: raise :class:`InjectedCrash` after the solver
             commits this many selections (``None`` disables).
+        stop_round: ask the solver to stop cooperatively after this
+            many committed selections; the solve returns its partial
+            result flagged ``interrupted=True`` (``None`` disables).
         worker_crash: per-round probability of SIGKILLing one parallel
             worker.
         recv_delay: seconds the parent sleeps before collecting each
@@ -93,6 +101,7 @@ class FaultInjector:
         *,
         seed: int = 0,
         kill_round: Optional[int] = None,
+        stop_round: Optional[int] = None,
         worker_crash: float = 0.0,
         recv_delay: float = 0.0,
         checkpoint_write: float = 0.0,
@@ -116,8 +125,13 @@ class FaultInjector:
             raise ReproError(
                 f"kill_round must be >= 1, got {kill_round}"
             )
+        if stop_round is not None and stop_round < 1:
+            raise ReproError(
+                f"stop_round must be >= 1, got {stop_round}"
+            )
         self.seed = seed
         self.kill_round = kill_round
+        self.stop_round = stop_round
         self.worker_crash = worker_crash
         self.recv_delay = recv_delay
         self.checkpoint_write = checkpoint_write
@@ -174,6 +188,23 @@ class FaultInjector:
         if self.kill_round is not None and round_no >= self.kill_round:
             self._count("kill_round")
             raise InjectedCrash(round_no)
+
+    def solver_stop(self, round_no: int) -> Optional[str]:
+        """Cooperative-stop hook: a reason to halt the solve, or ``None``.
+
+        Unlike ``kill_round`` (which raises, emulating a dead process),
+        ``stop_round`` asks the solver to stop *gracefully*: the solver
+        treats the returned reason exactly like a tripped run guard and
+        returns the partial result flagged ``interrupted=True`` — the
+        stop-reason-without-a-guard path the fuzzer exercises.
+        """
+        if self.stop_round is not None and round_no >= self.stop_round:
+            self._count("stop_round")
+            return (
+                f"injected cooperative stop at solver round {round_no} "
+                f"(fault injection)"
+            )
+        return None
 
     def checkpoint_write_fails(self) -> bool:
         """Whether the next checkpoint write should fail."""

@@ -125,12 +125,34 @@ class TestResolveIndices:
         with pytest.raises(UnknownItemError):
             resolve_indices(csr, ["nope"])
 
-    def test_integer_item_ids_resolve_as_indices_first(self):
+    def test_integer_item_ids_resolve_as_ids_first(self):
         csr = CSRGraph.from_arrays(
             np.array([0.5, 0.5]), np.array([0]), np.array([1]),
             np.array([0.4]), items=[10, 20],
         )
-        # 0 and 1 are valid dense indices, so they resolve positionally.
-        assert list(resolve_indices(csr, [0, 1])) == [0, 1]
-        # 10 is out of dense range, so it falls back to the item table.
+        # 10 is an item id, so it resolves through the item table.
         assert list(resolve_indices(csr, [10])) == [0]
+        # 0 and 1 are not ids here; integers in [0, n) fall back to
+        # dense-index semantics so positional call sites keep working.
+        assert list(resolve_indices(csr, [0, 1])) == [0, 1]
+
+    def test_id_wins_when_id_and_index_collide(self):
+        # Regression: item ids are a non-identity permutation of the
+        # index range, so the same integer names different nodes under
+        # id vs index semantics.  Ids must win — the old index-first
+        # rule silently resolved every element positionally.
+        csr = CSRGraph.from_arrays(
+            np.array([0.2, 0.3, 0.5]), np.array([0]), np.array([1]),
+            np.array([0.4]), items=[2, 0, 1],
+        )
+        assert list(resolve_indices(csr, [2, 0, 1])) == [0, 1, 2]
+        # Cover/coverage recomputation follows the same rule: retaining
+        # item 1 (index 2) keeps that node's mass, not node 1's.
+        vector = coverage_vector(csr, [1], "independent")
+        assert vector[2] == pytest.approx(0.5)
+        assert vector[1] == 0.0
+
+    def test_unhashable_input_raises_unknown_item(self, figure1):
+        csr = as_csr(figure1)
+        with pytest.raises(UnknownItemError):
+            resolve_indices(csr, [["not", "an", "id"]])

@@ -469,3 +469,123 @@ class TestHarness:
         assert report.ok, report.summary()
         assert report.checks > 20
         assert "OK" in report.summary()
+
+
+class TestCooperativeStop:
+    """The stop_round fault: a stop reason with NO run guard configured."""
+
+    def test_spec_parses_stop_round(self):
+        faults = FaultInjector.from_spec("stop_round=2:seed=3")
+        assert faults.stop_round == 2
+        assert faults.seed == 3
+
+    def test_validation(self):
+        with pytest.raises(ReproError, match="stop_round"):
+            FaultInjector(stop_round=0)
+
+    def test_solver_stop_hook(self):
+        faults = FaultInjector(stop_round=2)
+        assert faults.solver_stop(1) is None
+        reason = faults.solver_stop(2)
+        assert reason is not None and "round 2" in reason
+        assert faults.fired == {"stop_round": 1}
+
+    def test_greedy_interrupts_without_guard(self, graph):
+        # Regression for the guard-deref bug: a non-None stop reason
+        # with guard=None must return the flagged partial result, not
+        # crash on ``guard.on_trigger``.
+        clean = greedy_solve(graph, k=10, variant="independent")
+        with inject_faults(FaultInjector(stop_round=4)):
+            partial = greedy_solve(graph, k=10, variant="independent")
+        assert partial.interrupted
+        assert "injected cooperative stop" in partial.interrupted_reason
+        assert len(partial.retained) == 4
+        assert list(partial.retained) == list(clean.retained[:4])
+
+    def test_threshold_interrupts_without_guard(self, graph):
+        clean = greedy_threshold_solve(
+            graph, threshold=0.9, variant="independent"
+        )
+        assert clean.k > 3
+        with inject_faults(FaultInjector(stop_round=2)):
+            partial = greedy_threshold_solve(
+                graph, threshold=0.9, variant="independent"
+            )
+        assert partial.interrupted
+        assert partial.k == 2
+        assert list(partial.retained) == list(clean.retained[:2])
+
+    def test_guard_raise_still_raises_on_stop(self, graph):
+        # A configured guard keeps its contract when the stop reason
+        # comes from the cooperative-stop hook.
+        with pytest.raises(SolverInterrupted) as excinfo:
+            with inject_faults(FaultInjector(stop_round=3)):
+                greedy_solve(
+                    graph, k=10, variant="independent",
+                    guard=RunGuard(deadline_s=3600, on_trigger="raise"),
+                )
+        assert len(excinfo.value.partial.retained) == 3
+
+
+class TestThresholdResume:
+    """Unit coverage for the threshold solver's mid-run resume path."""
+
+    def test_killed_threshold_solve_resumes_bitwise_equal(
+        self, graph, tmp_path
+    ):
+        threshold = 0.85
+        clean = greedy_threshold_solve(
+            graph, threshold=threshold, variant="independent"
+        )
+        assert clean.k > 2
+        with pytest.raises(InjectedCrash):
+            with inject_faults(FaultInjector(kill_round=clean.k - 1)):
+                greedy_threshold_solve(
+                    graph, threshold=threshold, variant="independent",
+                    checkpoint=Checkpointer(tmp_path, every_rounds=1),
+                )
+        resumed = greedy_threshold_solve(
+            graph, threshold=threshold, variant="independent",
+            checkpoint=Checkpointer(tmp_path),
+        )
+        assert list(resumed.retained) == list(clean.retained)
+        assert resumed.cover == clean.cover  # bit-equal, not approx
+        assert resumed.prefix_covers.tolist() == (
+            clean.prefix_covers.tolist()
+        )
+
+    def test_resume_stops_at_threshold_boundary(self, graph, tmp_path):
+        # The resumed run must stop exactly where the threshold is
+        # first crossed: the next-shorter prefix does not qualify.
+        threshold = 0.85
+        with pytest.raises(InjectedCrash):
+            with inject_faults(FaultInjector(kill_round=2)):
+                greedy_threshold_solve(
+                    graph, threshold=threshold, variant="independent",
+                    checkpoint=Checkpointer(tmp_path, every_rounds=1),
+                )
+        resumed = greedy_threshold_solve(
+            graph, threshold=threshold, variant="independent",
+            checkpoint=Checkpointer(tmp_path),
+        )
+        assert not resumed.interrupted
+        assert resumed.cover >= threshold - 1e-12
+        assert resumed.prefix_covers[-2] < threshold - 1e-12
+
+    def test_completed_checkpoint_replays_only_qualifying_prefix(
+        self, graph, tmp_path
+    ):
+        # A checkpoint from a *completed* k-solve over the same
+        # instance is reusable: the threshold solve replays just the
+        # shortest qualifying prefix of the snapshot's order.
+        full = greedy_solve(
+            graph, k=graph.n_items, variant="independent",
+            checkpoint=Checkpointer(tmp_path, every_rounds=1),
+        )
+        threshold = float(full.prefix_covers[3])
+        resumed = greedy_threshold_solve(
+            graph, threshold=threshold, variant="independent",
+            checkpoint=Checkpointer(tmp_path),
+        )
+        assert resumed.k == 3
+        assert list(resumed.retained) == list(full.retained[:3])
