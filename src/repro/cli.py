@@ -250,6 +250,12 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro serve`` exit codes: 0 healthy (tier fresh), 3 finished on a
+#: degraded tier (stale/static), 4 shed or unrecoverable.
+SERVE_EXIT_DEGRADED = 3
+SERVE_EXIT_SHED = 4
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import time as _time
@@ -257,7 +263,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import numpy as np
 
     from .clickstream.drift import random_delta
-    from .serving import AssortmentService, ServingFrontend
+    from .errors import DeadlineExceeded, ServingError
+    from .serving import (
+        AssortmentService, RetryPolicy, ServingFrontend, ServingRuntime,
+        Tier,
+    )
 
     if args.graph:
         graph = read_graph_json(args.graph)
@@ -275,11 +285,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         k=args.k,
         threshold=args.threshold,
     )
-    frontend = ServingFrontend(
+    runtime = ServingRuntime(
         service,
+        retry=RetryPolicy(max_attempts=args.retries, seed=args.seed),
+        persist_dir=args.persist_dir,
+        static_fallback=not args.no_static_fallback,
+    )
+    frontend = ServingFrontend(
+        runtime,
         batch_window_s=args.batch_window_ms / 1000.0,
         max_batch=args.max_batch,
         max_pending=args.max_pending,
+        default_deadline_s=(
+            args.deadline_ms / 1000.0 if args.deadline_ms else None
+        ),
     )
     rng = np.random.default_rng(args.seed)
     item_ids = list(service.graph.items())
@@ -289,8 +308,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     async def run() -> dict:
         rejected = 0
         answered = 0
+        expired = 0
         loop = asyncio.get_running_loop()
-        await loop.run_in_executor(None, service.ensure)  # warm start
+        await loop.run_in_executor(None, runtime.ensure)  # warm start
         start = _time.perf_counter()
         async with frontend:
             for period in range(periods):
@@ -314,8 +334,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     answered += sum(
                         1 for a in answers if not isinstance(a, Exception)
                     )
+                    expired += sum(
+                        1 for a in answers
+                        if isinstance(a, DeadlineExceeded)
+                    )
                     rejected += sum(
-                        1 for a in answers if isinstance(a, Exception)
+                        1 for a in answers
+                        if isinstance(a, Exception)
+                        and not isinstance(a, DeadlineExceeded)
                     )
                     sent += wave
                 if period < args.drift_periods:
@@ -329,11 +355,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return {
             "answered": answered,
             "rejected": rejected,
+            "deadline_exceeded": expired,
             "elapsed_s": elapsed,
             "throughput_rps": answered / elapsed if elapsed > 0 else 0.0,
         }
 
-    workload = asyncio.run(run())
+    try:
+        workload = asyncio.run(run())
+    except ServingError as exc:
+        print(f"error: serving unrecoverable: {exc}", file=sys.stderr)
+        return SERVE_EXIT_SHED
     metrics = service.metrics
     latency = metrics.histogram("serving.request_latency_s")
     batches = metrics.histogram("serving.batch_size")
@@ -349,12 +380,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                        "mean": batches.mean, "max": batches.max},
         "store": service.stats(),
         "refresh_failures": service.refresh_failures,
+        "runtime": {
+            "tier": runtime.tier.label,
+            "tier_transitions": runtime.tier_transitions,
+            "breaker": runtime.breaker.snapshot(),
+            "restored": runtime.restored,
+            "shed_count": runtime.shed_count,
+        },
     }
     payload = json.dumps(report, indent=2)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(payload + "\n")
     print(payload)
+    if runtime.tier is Tier.SHED or (
+        workload["answered"] == 0 and args.requests > 0
+    ):
+        return SERVE_EXIT_SHED
+    if runtime.tier is not Tier.FRESH:
+        return SERVE_EXIT_DEGRADED
     return 0
 
 
@@ -371,11 +415,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(f"replay {args.replay}: no longer reproduces")
         return 0
     if not (
-        args.differential or args.resilience or args.serving or args.fuzz
+        args.differential or args.resilience or args.serving
+        or args.serving_chaos or args.fuzz
     ):
         print(
             "error: nothing to check; pass --differential, --resilience, "
-            "--serving and/or --fuzz (or --replay ARTIFACT)",
+            "--serving, --serving-chaos and/or --fuzz "
+            "(or --replay ARTIFACT)",
             file=sys.stderr,
         )
         return 2
@@ -431,6 +477,23 @@ def _cmd_check(args: argparse.Namespace) -> int:
         report = run_serving_differential(
             instances=s_instances,
             max_items=s_max_items,
+            seed=args.seed,
+            log=print if args.verbose else None,
+        )
+        print(report.summary())
+        ok = ok and report.ok
+    if args.serving_chaos:
+        from .evaluation.serving_chaos import run_serving_chaos
+
+        if args.smoke:
+            c_instances = instances if instances is not None else 4
+            c_max_items = max_items if max_items is not None else 48
+        else:
+            c_instances = instances if instances is not None else 20
+            c_max_items = max_items if max_items is not None else 96
+        report = run_serving_chaos(
+            instances=c_instances,
+            max_items=c_max_items,
             seed=args.seed,
             log=print if args.verbose else None,
         )
@@ -644,6 +707,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the serving differential harness "
                             "(served answers must equal offline "
                             "cover recomputation exactly)")
+    check.add_argument("--serving-chaos", action="store_true",
+                       help="run the serving chaos harness (runtime "
+                            "invariants — bitwise answers, monotone "
+                            "degradation, recovery, warm restart — "
+                            "under injected refresh crashes/latency)")
     check.add_argument("--fuzz", action="store_true",
                        help="run the metamorphic fuzzer (adversarial "
                             "instances checked against the invariant "
@@ -704,6 +772,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max queries answered per vectorized call")
     serve.add_argument("--max-pending", type=int, default=1024,
                        help="admission-control queue ceiling")
+    serve.add_argument("--persist-dir", default=None, metavar="DIR",
+                       help="persist the last good snapshot into DIR "
+                            "(and warm-restart from it on startup)")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       metavar="MS",
+                       help="per-query deadline; expired queries fail "
+                            "fast with DeadlineExceeded")
+    serve.add_argument("--retries", type=int, default=4,
+                       help="refresh attempts per episode (exponential "
+                            "backoff with seeded jitter; default: 4)")
+    serve.add_argument("--no-static-fallback", action="store_true",
+                       help="shed load instead of serving the static "
+                            "top-K-by-weight fallback when no solved "
+                            "snapshot exists")
     serve.add_argument("--drift-periods", type=int, default=0,
                        help="apply this many graph deltas mid-workload "
                             "(exercises incremental refresh + hot swap)")

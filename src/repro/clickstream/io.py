@@ -81,7 +81,11 @@ class QuarantineReport:
             (``invalid-json``, ``clicks-not-a-list``,
             ``buys-short-row``, ...).
         samples: up to ``5`` human-readable ``location: detail`` entries
-            for the first offending records.
+            for the first offending records.  Retention is bounded: once
+            the cap is hit further offenders only bump ``suppressed``,
+            so a pathological input cannot balloon the report.
+        suppressed: rejected records whose sample was dropped because
+            the ``samples`` cap was already reached.
     """
 
     source: str
@@ -91,6 +95,7 @@ class QuarantineReport:
     quarantined: int = 0
     reasons: Dict[str, int] = field(default_factory=dict)
     samples: List[str] = field(default_factory=list)
+    suppressed: int = 0
 
     @property
     def bad_fraction(self) -> float:
@@ -102,8 +107,12 @@ class QuarantineReport:
         self.quarantined += 1
         reason = getattr(error, "reason", "invalid")
         self.reasons[reason] = self.reasons.get(reason, 0) + 1
-        if self.mode == "quarantine" and len(self.samples) < _SAMPLE_LIMIT:
+        if self.mode != "quarantine":
+            return
+        if len(self.samples) < _SAMPLE_LIMIT:
             self.samples.append(str(error))
+        else:
+            self.suppressed += 1
 
     def check_budget(self, *, final: bool = False) -> None:
         """Abort ingestion when too much of the input is bad.
@@ -135,6 +144,8 @@ class QuarantineReport:
             lines.append(f"  {reason}: {count}")
         for sample in self.samples:
             lines.append(f"  e.g. {sample}")
+        if self.suppressed:
+            lines.append(f"  ... {self.suppressed} more suppressed")
         return "\n".join(lines)
 
     def to_dict(self) -> Dict:
@@ -146,6 +157,7 @@ class QuarantineReport:
             "bad_fraction": self.bad_fraction,
             "reasons": dict(sorted(self.reasons.items())),
             "samples": list(self.samples),
+            "suppressed": self.suppressed,
         }
 
 

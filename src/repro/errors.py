@@ -57,6 +57,18 @@ class ServingError(SolverError):
     """
 
 
+class DeadlineExceeded(ServingError):
+    """A query's deadline expired before it could be answered.
+
+    Raised by the serving front end's micro-batcher when a request
+    carries a deadline (``timeout_s``) and that deadline passes while
+    the request is queued — the query *fails fast* instead of occupying
+    a batch slot, and batches never wait past the earliest member
+    deadline.  Callers should treat this as load feedback: either retry
+    with a larger budget or shed the request upstream.
+    """
+
+
 class SolverInterrupted(ReproError):
     """A solve was stopped by a run guard before reaching its objective.
 

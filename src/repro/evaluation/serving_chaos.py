@@ -1,0 +1,409 @@
+"""Chaos differential harness for the fault-tolerant serving runtime.
+
+Where :mod:`repro.evaluation.serving_check` proves the serving layer
+transparent on the happy path, this harness proves the
+:class:`~repro.serving.ServingRuntime` keeps that guarantee *under
+injected faults*.  Each instance runs a full lifecycle — clean start,
+a burst of deltas with refresh crashes and latency injected, fault
+clearance, then a warm restart into a fresh process-equivalent
+service — and checks:
+
+* **bitwise transparency at every tier** — whenever a snapshot is
+  served (fresh, stale *or* the static top-K fallback), its
+  conditional coverage vector equals an offline
+  :func:`~repro.core.cover.item_coverage` recomputation over that
+  snapshot's own graph and retained set, exactly
+  (``np.array_equal``);
+* **monotone degradation** — within a run of consecutive failed
+  refresh episodes the tier never improves; only a *successful*
+  refresh resets it to ``fresh``;
+* **full recovery** — once faults clear, a refresh episode brings the
+  runtime back to tier ``fresh``, the breaker back to ``closed``, and
+  the served cover matches the offline reference;
+* **warm restart** — a new runtime pointed at the persistence
+  directory adopts the last good snapshot (same retained set, bitwise
+  equal vectors) before any solve;
+* **no leaks** — thread and file-descriptor counts after the sweep are
+  no higher than before it (small constant slack for interpreter
+  noise).
+
+Fault intensities follow the ambient ``REPRO_FAULTS`` spec when one is
+set (the CI job runs the harness under two different specs), falling
+back to a built-in mix; either way each instance gets its *own* seeded
+:class:`~repro.resilience.FaultInjector`, so a sweep is replayable
+from its seed.  Exposed on the CLI as ``repro check --serving-chaos``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from tempfile import TemporaryDirectory
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..clickstream.drift import random_delta
+from ..core.cover import cover, item_coverage
+from ..errors import ServingError
+from ..resilience import FaultInjector, active_faults, inject_faults
+from ..serving import (
+    AssortmentService,
+    CircuitBreaker,
+    RetryPolicy,
+    ServingRuntime,
+    Tier,
+)
+from ..workloads.graphs import (
+    bounded_degree_graph,
+    random_preference_graph,
+    small_dense_graph,
+)
+
+#: Same instance-generator trio as the happy-path serving differential.
+_GENERATORS: Tuple[Tuple[str, Callable], ...] = (
+    ("sparse", lambda n, variant, seed: random_preference_graph(
+        n, variant=variant, seed=seed)),
+    ("dense", lambda n, variant, seed: small_dense_graph(
+        n, variant=variant, seed=seed)),
+    ("bounded", lambda n, variant, seed: bounded_degree_graph(
+        n, variant=variant, seed=seed)),
+)
+
+#: Leak-check slack: the interpreter may lazily spin up a couple of
+#: helper threads / fds (e.g. numpy's, tempfile's) on first use.
+_THREAD_SLACK = 2
+_FD_SLACK = 4
+
+
+@dataclass(frozen=True)
+class ChaosFailure:
+    """One violated invariant under injected serving faults."""
+
+    variant: str
+    instance: str
+    check: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.variant}/{self.instance}] {self.check}: {self.detail}"
+
+
+@dataclass
+class ServingChaosReport:
+    """Outcome of one :func:`run_serving_chaos` sweep."""
+
+    instances: int
+    variants: Tuple[str, ...]
+    checks: int = 0
+    faults_fired: int = 0
+    failures: List[ChaosFailure] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held under every injected fault."""
+        return not self.failures
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph verdict."""
+        head = (
+            f"serving chaos: {len(self.variants)} variant(s) x "
+            f"{self.instances} instance(s), {self.checks} checks, "
+            f"{self.faults_fired} fault(s) fired in "
+            f"{self.wall_time_s:.1f}s -> "
+            f"{'OK' if self.ok else f'{len(self.failures)} FAILURE(S)'}"
+        )
+        if self.ok:
+            return head
+        lines = [head]
+        for failure in self.failures[:20]:
+            lines.append(f"  {failure}")
+        if len(self.failures) > 20:
+            lines.append(f"  ... and {len(self.failures) - 20} more")
+        return "\n".join(lines)
+
+
+def _open_fds() -> int:
+    """Open file-descriptor count for this process (-1 when unknowable)."""
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:  # pragma: no cover - non-procfs platforms
+        return -1
+
+
+def _check_served(record, variant, instance, runtime, *, phase):
+    """Bitwise transparency of whatever the runtime serves right now."""
+    try:
+        answers = runtime.answers(
+            list(runtime.service.current_csr().items)
+        )
+    except ServingError:
+        # Shed tier: nothing served, nothing to diverge.
+        record(variant, instance, f"{phase}-shed-tier",
+               None if runtime.tier is Tier.SHED else (
+                   f"query shed but tier is {runtime.tier.label}"))
+        return None
+    snapshot, tier = runtime._best()
+    offline = item_coverage(
+        snapshot.graph, snapshot.result.retained, snapshot.variant
+    )
+    served = np.array([answer.value for answer in answers])
+    record(
+        variant, instance, f"{phase}-bitwise",
+        None if np.array_equal(served, offline) else (
+            f"served answers diverge from offline item_coverage at tier "
+            f"{tier.label} (max delta "
+            f"{float(np.max(np.abs(served - offline))):.3e})"
+        ),
+    )
+    stamped = {answer.tier for answer in answers}
+    record(
+        variant, instance, f"{phase}-tier-stamp",
+        None if stamped == {tier} else (
+            f"answers stamped {sorted(t.label for t in stamped)}, "
+            f"runtime says {tier.label}"
+        ),
+    )
+    if tier in (Tier.FRESH, Tier.STALE):
+        bad = [a for a in answers if a.staleness_s is None]
+        record(
+            variant, instance, f"{phase}-staleness-stamp",
+            None if not bad else (
+                f"{len(bad)} {tier.label} answer(s) missing a staleness "
+                f"stamp"
+            ),
+        )
+    return tier
+
+
+def _fault_mix() -> Tuple[float, float]:
+    """(refresh_crash, refresh_delay) — ambient spec wins when set."""
+    ambient = active_faults()
+    if ambient is not None and (
+        ambient.refresh_crash > 0 or ambient.refresh_delay > 0
+    ):
+        return ambient.refresh_crash, ambient.refresh_delay
+    return 0.7, 0.0005
+
+
+def run_serving_chaos(
+    *,
+    instances: int = 20,
+    min_items: int = 24,
+    max_items: int = 96,
+    deltas_per_instance: int = 6,
+    seed: int = 0,
+    variants: Sequence[str] = ("independent", "normalized"),
+    log: Optional[Callable[[str], None]] = None,
+) -> ServingChaosReport:
+    """Drive the serving runtime through fault storms and check invariants.
+
+    Args:
+        instances: random instances generated *per variant*.
+        min_items / max_items: instance-size range (sampled uniformly).
+        deltas_per_instance: graph deltas applied during the fault storm.
+        seed: base RNG seed; the sweep is fully deterministic given it
+            (and the ambient ``REPRO_FAULTS`` spec, which sets the fault
+            intensities).
+        variants: problem variants to cover.
+        log: optional progress sink (one line per instance).
+
+    Returns:
+        A :class:`ServingChaosReport`; ``report.ok`` is the verdict.
+    """
+    min_items = max(4, min(min_items, max_items))
+    rng = np.random.default_rng(seed)
+    report = ServingChaosReport(
+        instances=instances, variants=tuple(variants)
+    )
+    start = time.perf_counter()
+    threads_before = threading.active_count()
+    fds_before = _open_fds()
+
+    def record(variant, instance, check, detail):
+        report.checks += 1
+        if detail is not None:
+            report.failures.append(
+                ChaosFailure(
+                    variant=variant, instance=instance, check=check,
+                    detail=detail,
+                )
+            )
+
+    crash, delay = _fault_mix()
+    for variant in variants:
+        for index in range(instances):
+            name, generator = _GENERATORS[index % len(_GENERATORS)]
+            n = int(rng.integers(min_items, max_items + 1))
+            case_seed = int(rng.integers(0, 2**31 - 1))
+            instance = f"{name}#{index} n={n} seed={case_seed}"
+            graph = generator(n, variant, case_seed)
+            k = int(rng.integers(1, n))
+            injector = FaultInjector(
+                refresh_crash=crash, refresh_delay=delay, seed=case_seed
+            )
+
+            with TemporaryDirectory(prefix="repro-chaos-") as tmp:
+                service = AssortmentService(graph, variant=variant, k=k)
+                runtime = ServingRuntime(
+                    service,
+                    retry=RetryPolicy(
+                        max_attempts=3, base_delay_s=0.0, jitter=0.0,
+                        seed=case_seed,
+                    ),
+                    breaker=CircuitBreaker(
+                        window=8, min_calls=3, reset_timeout_s=0.0,
+                    ),
+                    persist_dir=tmp,
+                )
+
+                # Phase 1 — clean start: faults shielded, tier fresh.
+                with inject_faults(None):
+                    runtime.ensure()
+                record(
+                    variant, instance, "clean-tier",
+                    None if runtime.tier is Tier.FRESH else (
+                        f"clean start landed on tier {runtime.tier.label}"
+                    ),
+                )
+                _check_served(record, variant, instance, runtime,
+                              phase="clean")
+
+                # Phase 2 — fault storm: deltas under refresh crashes
+                # and latency.  Within a run of consecutive failed
+                # episodes the tier must never improve.
+                worst_since_success = runtime.tier
+                with inject_faults(injector):
+                    for step in range(deltas_per_instance):
+                        delta = random_delta(
+                            service.graph, sigma=0.2, edge_churn=0.05,
+                            seed=case_seed + step,
+                            sequence=service.stats()["sequence"] + 1,
+                        )
+                        runtime.apply_delta(delta)
+                        tier = runtime.tier
+                        if tier is Tier.FRESH:
+                            worst_since_success = Tier.FRESH
+                        else:
+                            record(
+                                variant, instance,
+                                f"storm-monotone@{step}",
+                                None if tier >= worst_since_success else (
+                                    f"tier improved {worst_since_success.label}"
+                                    f" -> {tier.label} without a successful "
+                                    f"refresh"
+                                ),
+                            )
+                            worst_since_success = max(
+                                worst_since_success, tier
+                            )
+                        _check_served(
+                            record, variant, instance, runtime,
+                            phase=f"storm@{step}",
+                        )
+                report.faults_fired += sum(injector.fired.values())
+
+                # Phase 3 — faults clear: one refresh episode must fully
+                # recover (breaker may need its half-open probe first).
+                with inject_faults(None):
+                    recovered = runtime.refresh()
+                    if recovered is None:  # breaker probe consumed
+                        recovered = runtime.refresh()
+                record(
+                    variant, instance, "recovery-tier",
+                    None if runtime.tier is Tier.FRESH
+                    and recovered is not None else (
+                        f"tier {runtime.tier.label} after faults cleared"
+                    ),
+                )
+                record(
+                    variant, instance, "recovery-breaker",
+                    None if runtime.breaker.state == "closed" else (
+                        f"breaker {runtime.breaker.state} after recovery"
+                    ),
+                )
+                if recovered is not None:
+                    offline_cover = cover(
+                        recovered.graph, recovered.result.retained, variant
+                    )
+                    record(
+                        variant, instance, "recovery-cover",
+                        None if abs(
+                            recovered.result.cover - offline_cover
+                        ) <= 1e-9 else (
+                            f"recovered cover {recovered.result.cover!r} != "
+                            f"offline {offline_cover!r}"
+                        ),
+                    )
+                _check_served(record, variant, instance, runtime,
+                              phase="recovered")
+
+                # Phase 4 — warm restart: a new runtime over the same
+                # graph adopts the persisted last-good snapshot before
+                # any solve, bitwise equal to what was being served.
+                last_good = runtime.active_snapshot()
+                with inject_faults(None):
+                    reborn = ServingRuntime(
+                        AssortmentService(
+                            service.graph, variant=variant, k=k
+                        ),
+                        persist_dir=tmp,
+                    )
+                record(
+                    variant, instance, "warm-restart",
+                    None if reborn.restored else (
+                        "restarted runtime did not adopt the persisted "
+                        "snapshot"
+                    ),
+                )
+                if reborn.restored and last_good is not None:
+                    adopted = reborn.active_snapshot()
+                    record(
+                        variant, instance, "warm-restart-retained",
+                        None if adopted.result.retained
+                        == last_good.result.retained else (
+                            "restored retained set differs from the last "
+                            "good snapshot"
+                        ),
+                    )
+                    record(
+                        variant, instance, "warm-restart-bitwise",
+                        None if np.array_equal(
+                            adopted.conditional, last_good.conditional
+                        ) else (
+                            "restored conditional coverage diverges from "
+                            "the last good snapshot"
+                        ),
+                    )
+                _check_served(record, variant, instance, reborn,
+                              phase="restart")
+
+            if log is not None:
+                log(
+                    f"{variant} {instance}: "
+                    f"{len(report.failures)} failure(s) so far"
+                )
+
+    threads_after = threading.active_count()
+    record(
+        "*", "sweep", "thread-leak",
+        None if threads_after <= threads_before + _THREAD_SLACK else (
+            f"{threads_after - threads_before} thread(s) leaked across "
+            f"the sweep"
+        ),
+    )
+    fds_after = _open_fds()
+    if fds_before >= 0 and fds_after >= 0:
+        record(
+            "*", "sweep", "fd-leak",
+            None if fds_after <= fds_before + _FD_SLACK else (
+                f"{fds_after - fds_before} file descriptor(s) leaked "
+                f"across the sweep"
+            ),
+        )
+
+    report.wall_time_s = time.perf_counter() - start
+    return report

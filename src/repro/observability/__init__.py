@@ -15,7 +15,7 @@ attaches the resulting :class:`Telemetry` to ``SolveResult.telemetry``.
 See ``docs/observability.md`` for the event schema and metric names.
 """
 
-from .metrics import Counter, Histogram, MetricsRegistry, Timer
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Timer
 from .trace import (
     NULL_TRACER,
     NullTracer,
@@ -27,6 +27,7 @@ from .trace import (
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",

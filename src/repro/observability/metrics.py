@@ -155,8 +155,36 @@ class Histogram:
         )
 
 
+class Gauge:
+    """A point-in-time value (last write wins).
+
+    Unlike a :class:`Counter`, a gauge represents *current state* — the
+    serving runtime's degradation tier, the circuit breaker's position —
+    so only the most recent :meth:`set` is meaningful.  ``updates``
+    counts how many times the value changed, which is how tier/breaker
+    transition totals are read back out.
+    """
+
+    __slots__ = ("name", "value", "updates")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        """Record the current value (counted only when it changes)."""
+        value = float(value)
+        if self.value != value:
+            self.updates += 1
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
 class MetricsRegistry:
-    """A named collection of counters, timers and histograms.
+    """A named collection of counters, timers, histograms and gauges.
 
     Instruments are created on first use (``registry.counter("x")``)
     and shared by name afterwards; the convenience methods ``incr`` /
@@ -168,6 +196,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._timers: Dict[str, Timer] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._gauges: Dict[str, Gauge] = {}
 
     # -- instrument access ---------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -194,6 +223,14 @@ class MetricsRegistry:
             instrument = self._histograms[name] = Histogram(name)
             return instrument
 
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        try:
+            return self._gauges[name]
+        except KeyError:
+            instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
     # -- one-line recording --------------------------------------------
     def incr(self, name: str, amount: float = 1.0) -> None:
         """Increment counter ``name`` by ``amount``."""
@@ -206,6 +243,10 @@ class MetricsRegistry:
     def record_time(self, name: str, seconds: float) -> None:
         """Record a ``seconds``-long interval on timer ``name``."""
         self.timer(name).record(seconds)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its current ``value``."""
+        self.gauge(name).set(value)
 
     def time(self, name: str):
         """Context manager timing the enclosed block on timer ``name``."""
@@ -236,9 +277,15 @@ class MetricsRegistry:
                 for value in histogram._reservoir:
                     if len(mine._reservoir) < Histogram.RESERVOIR_SIZE:
                         mine._reservoir.append(value)
+        for name, gauge in other._gauges.items():
+            if gauge.value is not None:
+                self.gauge(name).set(gauge.value)
 
     def __bool__(self) -> bool:
-        return bool(self._counters or self._timers or self._histograms)
+        return bool(
+            self._counters or self._timers or self._histograms
+            or self._gauges
+        )
 
     def to_dict(self) -> Dict:
         """Plain-python snapshot (stable key order, JSON-serializable)."""
@@ -264,6 +311,13 @@ class MetricsRegistry:
                     "p99": self._histograms[name].p99,
                 }
                 for name in sorted(self._histograms)
+            },
+            "gauges": {
+                name: {
+                    "value": self._gauges[name].value,
+                    "updates": self._gauges[name].updates,
+                }
+                for name in sorted(self._gauges)
             },
         }
 
@@ -297,11 +351,22 @@ class MetricsRegistry:
                     if histogram.count
                     else f"  {name:<40s} (empty)"
                 )
+        if self._gauges:
+            lines.append("gauges:")
+            for name in sorted(self._gauges):
+                gauge = self._gauges[name]
+                lines.append(
+                    f"  {name:<40s} {gauge.value:g} "
+                    f"({gauge.updates} updates)"
+                    if gauge.value is not None
+                    else f"  {name:<40s} (unset)"
+                )
         return "\n".join(lines) if lines else "(no metrics recorded)"
 
     def __repr__(self) -> str:
         return (
             f"MetricsRegistry(counters={len(self._counters)}, "
             f"timers={len(self._timers)}, "
-            f"histograms={len(self._histograms)})"
+            f"histograms={len(self._histograms)}, "
+            f"gauges={len(self._gauges)})"
         )

@@ -24,12 +24,14 @@ from .checkpoint import (
     Checkpoint,
     CheckpointError,
     Checkpointer,
+    atomic_write_bytes,
     coerce_checkpointer,
     solve_context,
 )
 from .faults import (
     FaultInjector,
     InjectedCrash,
+    InjectedRefreshFailure,
     active_faults,
     inject_faults,
 )
@@ -42,9 +44,11 @@ __all__ = [
     "Checkpointer",
     "FaultInjector",
     "InjectedCrash",
+    "InjectedRefreshFailure",
     "ON_TRIGGER",
     "RunGuard",
     "active_faults",
+    "atomic_write_bytes",
     "coerce_checkpointer",
     "current_rss_mb",
     "inject_faults",

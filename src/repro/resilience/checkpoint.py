@@ -36,7 +36,7 @@ import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 
@@ -50,7 +50,6 @@ CHECKPOINT_VERSION = 1
 
 #: Filename shape: ``ckpt-<context>-<epoch>.json``.
 _FILE_PREFIX = "ckpt-"
-_TMP_PREFIX = ".tmp-ckpt-"
 
 
 class CheckpointError(ReproError):
@@ -60,6 +59,45 @@ class CheckpointError(ReproError):
     errors: the loader simply skips to the next older snapshot, and a
     directory with no usable snapshot resumes from scratch.
     """
+
+
+def atomic_write_bytes(
+    path: Union[str, Path],
+    data: bytes,
+    *,
+    fail_hook: Optional[Callable[[], bool]] = None,
+) -> None:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + replace).
+
+    The payload is written to a same-directory temp file, flushed and
+    ``fsync``-ed, then moved into place with ``os.replace`` — a crash
+    at any point leaves either the old file or the new one, never a
+    torn mix.  ``fail_hook`` is the fault-injection seam: when it
+    returns ``True`` the write fails (:class:`CheckpointError`)
+    *before* the rename, exactly where a real ``ENOSPC`` would bite.
+    On any failure the temp file is removed and the error propagates;
+    callers decide whether a lost snapshot is fatal (it usually is
+    not).  Shared by :class:`Checkpointer` and the serving runtime's
+    warm-restart snapshot persistence.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".tmp-{path.name}-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if fail_hook is not None and fail_hook():
+            raise CheckpointError(
+                "injected write failure (fault injection)"
+            )
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
 
 
 def order_crc(order) -> int:
@@ -201,21 +239,16 @@ class Checkpointer:
         final = self.directory / (
             f"{_FILE_PREFIX}{context}-{payload['epoch']:010d}.json"
         )
-        tmp = self.directory / (
-            f"{_TMP_PREFIX}{context}-{payload['epoch']:010d}-{os.getpid()}"
-        )
+        faults = active_faults()
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-            with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-                handle.flush()
-                os.fsync(handle.fileno())
-            faults = active_faults()
-            if faults is not None and faults.checkpoint_write_fails():
-                raise CheckpointError(
-                    "injected checkpoint write failure (fault injection)"
-                )
-            os.replace(tmp, final)
+            atomic_write_bytes(
+                final,
+                json.dumps(payload).encode("utf-8"),
+                fail_hook=(
+                    None if faults is None else faults.checkpoint_write_fails
+                ),
+            )
         except (OSError, CheckpointError) as exc:
             self.write_failures += 1
             if tracer.enabled:
@@ -224,10 +257,6 @@ class Checkpointer:
                     "checkpoint.write_failed", error=str(exc),
                     epoch=payload["epoch"],
                 )
-            try:
-                tmp.unlink()
-            except OSError:
-                pass
             return False
         self.written += 1
         if tracer.enabled:

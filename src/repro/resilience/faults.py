@@ -21,7 +21,13 @@ points:
 * ``checkpoint_write=p`` — a checkpoint write fails (before the atomic
   rename, so no partial file becomes visible) with probability ``p``;
 * ``malformed_record=p`` — each ingested clickstream line is corrupted
-  with probability ``p``, exercising the lenient-ingestion path.
+  with probability ``p``, exercising the lenient-ingestion path;
+* ``refresh_crash=p`` — a serving-layer snapshot solve (cold ``ensure``
+  or delta-triggered refresh) fails with probability ``p``, emulating
+  an intermittently poisoned refresh path — the fault the serving
+  runtime's retry/breaker/degradation machinery exists to absorb;
+* ``refresh_delay=s`` — every serving-layer snapshot solve stalls ``s``
+  seconds first, emulating a slow backing solver (latency fault).
 
 Injectors are activated either explicitly (``with inject_faults(inj):``)
 or ambiently through the ``REPRO_FAULTS`` environment variable, whose
@@ -60,6 +66,17 @@ class InjectedCrash(ReproError):
         self.round_no = round_no
 
 
+class InjectedRefreshFailure(ReproError):
+    """A synthetic serving-refresh failure requested by an injector.
+
+    Raised from the serving layer's snapshot-solve hook when a
+    ``refresh_crash`` draw fires; the runtime's retry/breaker path and
+    the chaos harness treat it exactly like a real transient refresh
+    failure, while its distinct type keeps genuine defects
+    (``SolverError`` etc.) visible.
+    """
+
+
 #: Recognized spec keys and their parsers.
 _SPEC_KEYS = {
     "seed": int,
@@ -69,6 +86,8 @@ _SPEC_KEYS = {
     "recv_delay": float,
     "checkpoint_write": float,
     "malformed_record": float,
+    "refresh_crash": float,
+    "refresh_delay": float,
 }
 
 
@@ -91,6 +110,11 @@ class FaultInjector:
             checkpoint write failure.
         malformed_record: per-line probability of corrupting an
             ingested clickstream record.
+        refresh_crash: per-solve probability that a serving snapshot
+            refresh fails (:class:`InjectedRefreshFailure`) —
+            intermittent by construction, so retries can succeed.
+        refresh_delay: seconds every serving snapshot solve stalls
+            before running (``0`` disables) — the latency fault.
 
     ``fired`` tallies every fault actually injected, keyed by kind, so
     tests can assert the chaos they asked for really happened.
@@ -106,11 +130,14 @@ class FaultInjector:
         recv_delay: float = 0.0,
         checkpoint_write: float = 0.0,
         malformed_record: float = 0.0,
+        refresh_crash: float = 0.0,
+        refresh_delay: float = 0.0,
     ) -> None:
         for name, value in (
             ("worker_crash", worker_crash),
             ("checkpoint_write", checkpoint_write),
             ("malformed_record", malformed_record),
+            ("refresh_crash", refresh_crash),
         ):
             if not (0.0 <= value <= 1.0):
                 raise ReproError(
@@ -120,6 +147,10 @@ class FaultInjector:
         if recv_delay < 0:
             raise ReproError(
                 f"recv_delay must be >= 0, got {recv_delay}"
+            )
+        if refresh_delay < 0:
+            raise ReproError(
+                f"refresh_delay must be >= 0, got {refresh_delay}"
             )
         if kill_round is not None and kill_round < 1:
             raise ReproError(
@@ -136,6 +167,8 @@ class FaultInjector:
         self.recv_delay = recv_delay
         self.checkpoint_write = checkpoint_write
         self.malformed_record = malformed_record
+        self.refresh_crash = refresh_crash
+        self.refresh_delay = refresh_delay
         self.rng = random.Random(seed)
         self.fired: Dict[str, int] = {}
 
@@ -223,6 +256,16 @@ class FaultInjector:
         if self.recv_delay > 0:
             self._count("recv_delay")
         return self.recv_delay
+
+    def refresh_fails(self) -> bool:
+        """Whether this serving snapshot solve should fail."""
+        return self.fire("refresh_crash", self.refresh_crash)
+
+    def refresh_delay_s(self) -> float:
+        """Seconds to stall before this serving snapshot solve."""
+        if self.refresh_delay > 0:
+            self._count("refresh_delay")
+        return self.refresh_delay
 
     def corrupt_record(self, line: str) -> str:
         """Possibly mangle one ingested line (malformed-record fault)."""

@@ -26,22 +26,38 @@ import time
 from typing import AsyncIterator, Hashable, Iterable, List, Optional, Union
 
 from ..clickstream.drift import GraphDelta
-from ..errors import ReproError, ServingError
+from ..errors import DeadlineExceeded, ReproError, ServingError
 from ..resilience.faults import active_faults
 from .service import AssortmentService
+
+#: How far *before* the earliest member deadline a batch window closes.
+#: Sealing exactly at the deadline loses the race against event-loop
+#: scheduling overhead, expiring queries the clamp existed to save.
+_SEAL_MARGIN_S = 0.005
 
 
 class ServingFrontend:
     """Micro-batching asyncio front end over an :class:`AssortmentService`.
 
     Args:
-        service: the snapshot-backed query service to drive.
+        service: the snapshot-backed query service to drive.  Anything
+            with the service's reader surface works — in particular a
+            :class:`~repro.serving.runtime.ServingRuntime`, which adds
+            retries, a circuit breaker and degradation tiers underneath
+            the same methods.
         batch_window_s: how long the drain loop holds a batch open after
             its first request (2 ms default — long enough to coalesce a
             burst, short enough to be invisible in p50).
         max_batch: upper bound on requests answered per vectorized call.
         max_pending: admission-control ceiling on queued requests;
             submissions beyond it are rejected with ``ServingError``.
+        default_deadline_s: per-query deadline applied when the caller
+            does not pass ``timeout_s`` explicitly.  ``None`` (default)
+            means queries wait indefinitely.  A batch never holds its
+            window open past the earliest member deadline, and a query
+            whose deadline has passed by the time its batch is answered
+            fails fast with :class:`~repro.errors.DeadlineExceeded`
+            instead of receiving a too-late answer.
         metrics: telemetry registry; defaults to the service's own.
     """
 
@@ -52,6 +68,7 @@ class ServingFrontend:
         batch_window_s: float = 0.002,
         max_batch: int = 256,
         max_pending: int = 1024,
+        default_deadline_s: Optional[float] = None,
         metrics=None,
     ) -> None:
         if batch_window_s < 0:
@@ -60,10 +77,13 @@ class ServingFrontend:
             raise ServingError("max_batch must be >= 1")
         if max_pending < 1:
             raise ServingError("max_pending must be >= 1")
+        if default_deadline_s is not None and default_deadline_s <= 0:
+            raise ServingError("default_deadline_s must be positive or None")
         self.service = service
         self.batch_window_s = batch_window_s
         self.max_batch = max_batch
         self.max_pending = max_pending
+        self.default_deadline_s = default_deadline_s
         self.metrics = metrics if metrics is not None else service.metrics
         self._queue: Optional[asyncio.Queue] = None
         self._drain_task: Optional[asyncio.Task] = None
@@ -104,7 +124,9 @@ class ServingFrontend:
     # ------------------------------------------------------------------
     # Query path
     # ------------------------------------------------------------------
-    def _submit(self, item: Hashable) -> "asyncio.Future":
+    def _submit(
+        self, item: Hashable, timeout_s: Optional[float] = None
+    ) -> "asyncio.Future":
         if self._queue is None:
             raise ServingError(
                 "front end not started; use 'async with frontend:' or "
@@ -116,19 +138,35 @@ class ServingFrontend:
                 f"serving queue full ({self.max_pending} pending); "
                 f"shed load or raise max_pending"
             )
+        if timeout_s is None:
+            timeout_s = self.default_deadline_s
+        now = time.perf_counter()
+        deadline = now + timeout_s if timeout_s is not None else None
         future = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait((item, future, time.perf_counter()))
+        self._queue.put_nowait((item, future, now, deadline))
         return future
 
-    async def covered_probability(self, item: Hashable) -> float:
-        """Awaitable point query, answered by the next micro-batch."""
-        return await self._submit(item)
+    async def covered_probability(
+        self, item: Hashable, *, timeout_s: Optional[float] = None
+    ) -> float:
+        """Awaitable point query, answered by the next micro-batch.
 
-    async def query(self, item_ids: Iterable[Hashable]) -> List[dict]:
+        ``timeout_s`` overrides ``default_deadline_s`` for this query;
+        when the deadline expires before the answering batch is sealed
+        the await fails with :class:`~repro.errors.DeadlineExceeded`.
+        """
+        return await self._submit(item, timeout_s)
+
+    async def query(
+        self,
+        item_ids: Iterable[Hashable],
+        *,
+        timeout_s: Optional[float] = None,
+    ) -> List[dict]:
         """Batched per-item report (one micro-batch per caller batch)."""
         items = list(item_ids)
         answers = await asyncio.gather(
-            *(self._submit(item) for item in items)
+            *(self._submit(item, timeout_s) for item in items)
         )
         snapshot = self.service.ensure()
         return [
@@ -157,9 +195,17 @@ class ServingFrontend:
                     return
                 continue
             batch = [first]
-            deadline = loop.time() + self.batch_window_s
+            window_closes = loop.time() + self.batch_window_s
+            min_deadline = first[3]
             while len(batch) < self.max_batch:
-                remaining = deadline - loop.time()
+                remaining = window_closes - loop.time()
+                if min_deadline is not None:
+                    # Never hold the batch open past the earliest member
+                    # deadline — a full window would expire that query.
+                    remaining = min(
+                        remaining,
+                        min_deadline - _SEAL_MARGIN_S - time.perf_counter(),
+                    )
                 if remaining <= 0 and self.batch_window_s > 0:
                     break
                 try:
@@ -170,14 +216,40 @@ class ServingFrontend:
                 if entry is None:
                     continue
                 batch.append(entry)
+                if entry[3] is not None and (
+                    min_deadline is None or entry[3] < min_deadline
+                ):
+                    min_deadline = entry[3]
             self._answer(batch)
             if stop.is_set() and queue.empty():
                 return
 
     def _answer(self, batch) -> None:
-        """Answer one micro-batch with a single vectorized snapshot read."""
-        items = [item for item, _, _ in batch]
-        self.metrics.observe("serving.batch_size", len(batch))
+        """Answer one micro-batch with a single vectorized snapshot read.
+
+        Deadline expiry is judged here, at batch seal time: members
+        whose deadline has already passed fail fast with
+        :class:`~repro.errors.DeadlineExceeded` and never join the
+        vectorized read — when every member has expired, no snapshot
+        read is issued at all.
+        """
+        now = time.perf_counter()
+        live = []
+        for item, future, enqueued, deadline in batch:
+            if future.done():  # caller went away (cancelled/timed out)
+                continue
+            if deadline is not None and now > deadline:
+                self.metrics.incr("serving.deadline_exceeded")
+                future.set_exception(DeadlineExceeded(
+                    f"query for {item!r} expired {now - deadline:.4f}s "
+                    f"past its deadline before its batch was answered"
+                ))
+                continue
+            live.append((item, future, enqueued))
+        if not live:
+            return
+        items = [item for item, _, _ in live]
+        self.metrics.observe("serving.batch_size", len(live))
         try:
             answers = self.service.covered_probability_many(items)
         except ReproError:
@@ -185,8 +257,8 @@ class ServingFrontend:
             # per-item answering so only the offender sees the error.
             answers = None
         now = time.perf_counter()
-        for position, (item, future, enqueued) in enumerate(batch):
-            if future.done():  # caller went away (cancelled/timed out)
+        for position, (item, future, enqueued) in enumerate(live):
+            if future.done():
                 continue
             if answers is not None:
                 future.set_result(float(answers[position]))

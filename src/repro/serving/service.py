@@ -21,6 +21,7 @@ assortment, half new coverage).
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -33,7 +34,7 @@ from ..core.variants import Variant
 from ..errors import ReproError, ServingError
 from ..extensions.incremental import IncrementalSolver
 from ..observability import MetricsRegistry
-from ..resilience.faults import active_faults
+from ..resilience.faults import InjectedRefreshFailure, active_faults
 from .store import SolutionSnapshot, SolutionStore
 
 
@@ -112,6 +113,10 @@ class AssortmentService:
             self._csr = as_csr(self._graph)
         return self._csr
 
+    def current_csr(self):
+        """CSR view of the current graph state (cached until a delta)."""
+        return self._current_csr()
+
     def context_key(self) -> str:
         """The active graph's full context digest (cache key)."""
         return solve_context_digest(
@@ -126,6 +131,14 @@ class AssortmentService:
             # The refresh loop is a supervised worker from the chaos
             # suite's perspective: give the injector its crash hook.
             injector.solver_round(self._sequence + 1)
+            delay = injector.refresh_delay_s()
+            if delay > 0:
+                time.sleep(delay)
+            if injector.refresh_fails():
+                raise InjectedRefreshFailure(
+                    f"injected refresh failure at sequence "
+                    f"{self._sequence} (fault injection)"
+                )
         csr = self._current_csr()
         if self._solver is not None:
             result = self._solver.resolve() \
@@ -237,16 +250,58 @@ class AssortmentService:
         so the caller can decide whether to retry.
         """
         with self._refresh_lock:
-            if delta.sequence <= self._sequence and self._active is not None:
-                self.metrics.incr("serving.deltas_stale")
+            if not self._stage_locked(delta):
                 return self._active
-            delta.apply_to(self._graph)
-            self._csr = None  # the cached CSR view is now stale
-            self._sequence = delta.sequence
-            self.metrics.incr("serving.deltas_applied")
-            if self.validate_deltas:
-                self._graph.validate(self.variant)
             return self._refresh_locked()
+
+    def stage_delta(self, delta: GraphDelta) -> bool:
+        """Mutate the graph for ``delta`` *without* re-solving.
+
+        Returns ``True`` when the delta was incorporated (the active
+        snapshot is now stale and a :meth:`refresh` is owed), ``False``
+        when the delta was a stale/duplicate drop.  This split exists
+        for retrying callers: a graph mutation must happen exactly
+        once, while the refresh that follows may be attempted many
+        times — retrying :meth:`apply_delta` whole would hit the
+        stale-sequence drop on the second attempt and "succeed"
+        without ever re-solving.
+        """
+        with self._refresh_lock:
+            return self._stage_locked(delta)
+
+    def _stage_locked(self, delta: GraphDelta) -> bool:
+        if delta.sequence <= self._sequence and self._active is not None:
+            self.metrics.incr("serving.deltas_stale")
+            return False
+        delta.apply_to(self._graph)
+        self._csr = None  # the cached CSR view is now stale
+        self._sequence = delta.sequence
+        self.metrics.incr("serving.deltas_applied")
+        if self.validate_deltas:
+            self._graph.validate(self.variant)
+        return True
+
+    def adopt(self, snapshot: SolutionSnapshot) -> SolutionSnapshot:
+        """Install an externally built snapshot as the active one.
+
+        The warm-restart path: a persisted last-good snapshot is
+        adopted on startup so queries are answerable before the first
+        solve.  The snapshot must answer *this* service's question —
+        its key is checked against :meth:`context_key` so a foreign or
+        out-of-date snapshot is rejected rather than silently served.
+        """
+        with self._refresh_lock:
+            expected = self.context_key()
+            if snapshot.key != expected:
+                raise ServingError(
+                    f"snapshot key {snapshot.key[:12]}... does not match "
+                    f"this service's context {expected[:12]}...; refusing "
+                    f"to serve answers for a different question"
+                )
+            self.store.put(snapshot)
+            self._active = snapshot
+            self._sequence = max(self._sequence, snapshot.sequence)
+            return snapshot
 
     def refresh(self) -> SolutionSnapshot:
         """Force a re-solve of the current graph and hot-swap the result.

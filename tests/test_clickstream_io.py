@@ -121,6 +121,28 @@ class TestLenientJsonl:
         assert any(":1:" in sample for sample in report.samples)
         assert "quarantined 2/22" in report.summary()
 
+    def test_quarantine_caps_samples_and_counts_suppressed(self, tmp_path):
+        path = self._mixed_file(
+            tmp_path, bad_lines=[(i, "not json\n") for i in range(8)]
+        )
+        loaded = read_jsonl(path, on_error="quarantine", error_budget=0.5)
+        report = loaded.quarantine
+        assert report.quarantined == 8
+        assert len(report.samples) == 5  # retention cap
+        assert report.suppressed == 3
+        assert "... 3 more suppressed" in report.summary()
+        assert report.to_dict()["suppressed"] == 3
+
+    def test_skip_mode_retains_no_samples(self, tmp_path):
+        path = self._mixed_file(
+            tmp_path, bad_lines=[(i, "not json\n") for i in range(8)]
+        )
+        loaded = read_jsonl(path, on_error="skip", error_budget=0.5)
+        report = loaded.quarantine
+        assert report.quarantined == 8
+        assert report.samples == []
+        assert report.suppressed == 0
+
     def test_error_budget_aborts(self, tmp_path):
         path = tmp_path / "corrupt.jsonl"
         lines = [self.GOOD % i for i in range(10)]

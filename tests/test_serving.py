@@ -113,6 +113,84 @@ class TestSolutionStore:
         assert again is not snapshot
         assert again.key == snapshot.key
 
+    def test_ttl_expiry_races_concurrent_get_put(self):
+        """TTL expiry must stay consistent under concurrent get/put.
+
+        Writers keep re-inserting snapshots stamped at the current
+        clock, readers keep probing, and a third thread jumps the clock
+        past the TTL repeatedly.  However the three interleave, no call
+        may raise, every hit must return a snapshot for the requested
+        key, the hit/miss tally must account for every probe exactly
+        once, and entries stamped before a clock jump must actually
+        expire (the expiration counter moves).
+        """
+        import dataclasses
+        import time as _time
+
+        service = make_service(n=40, k=6)
+        base = service.ensure()
+        clock_lock = threading.Lock()
+        clock = {"now": 0.0}
+
+        def now() -> float:
+            with clock_lock:
+                return clock["now"]
+
+        store = SolutionStore(capacity=4, ttl_s=1.0, clock=now)
+        keys = ["race-a", "race-b"]
+        stop = threading.Event()
+        errors: list = []
+        probes = [0] * 4
+
+        def writer(key: str) -> None:
+            try:
+                while not stop.is_set():
+                    store.put(dataclasses.replace(
+                        base, key=key, created_at=now()))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def reader(slot: int, key: str) -> None:
+            try:
+                while not stop.is_set():
+                    snapshot = store.get(key)
+                    probes[slot] += 1
+                    if snapshot is not None and snapshot.key != key:
+                        errors.append(
+                            AssertionError(f"{key} hit -> {snapshot.key}"))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def advancer() -> None:
+            # Each jump exceeds the TTL, so everything written before
+            # it is expired the moment a reader next probes it.
+            for _ in range(60):
+                with clock_lock:
+                    clock["now"] += 1.5
+                _time.sleep(0.002)
+            stop.set()
+
+        threads = [threading.Thread(target=writer, args=(k,)) for k in keys]
+        threads += [
+            threading.Thread(target=reader, args=(slot, keys[slot % 2]))
+            for slot in range(4)
+        ]
+        threads.append(threading.Thread(target=advancer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not any(t.is_alive() for t in threads)
+        assert errors == []
+        # Every probe is tallied exactly once, as a hit or a miss.
+        assert store.hits + store.misses == sum(probes)
+        assert store.expirations > 0
+        assert len(store) <= store.capacity
+        # After the dust settles a fresh put is immediately servable.
+        final = store.put(dataclasses.replace(
+            base, key="race-final", created_at=now()))
+        assert store.get("race-final") is final
+
     def test_store_validation(self):
         with pytest.raises(ValueError):
             SolutionStore(capacity=0)
