@@ -64,10 +64,14 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
             "(tables also written to benchmarks/results/)"
         )
     if _BENCH_METRICS:
+        import json
+
         RESULTS_DIR.mkdir(exist_ok=True)
         metrics_path = RESULTS_DIR / "metrics.json"
+        # The canonical snapshot() schema — same dump the Prometheus
+        # exposition renders, so offline results and live scrapes agree.
         with open(metrics_path, "w", encoding="utf-8") as handle:
-            handle.write(_BENCH_METRICS.to_json())
+            json.dump(_BENCH_METRICS.snapshot(), handle, indent=2)
             handle.write("\n")
         terminalreporter.write_sep("=", "solver metrics")
         terminalreporter.write_line(_BENCH_METRICS.summary())

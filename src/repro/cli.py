@@ -300,6 +300,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.deadline_ms / 1000.0 if args.deadline_ms else None
         ),
     )
+    if args.log:
+        from .observability import configure_logging
+
+        configure_logging(args.log)
+    exporter = None
+    if args.metrics_port is not None:
+        from .observability import MetricsExporter
+
+        exporter = MetricsExporter(
+            service.metrics,
+            port=args.metrics_port,
+            readiness=runtime.readiness,
+        )
+        exporter.start()
+        # Announced on stderr so stdout stays a single JSON report;
+        # harnesses scrape this line to learn the ephemeral port.
+        print(f"metrics: {exporter.url}/metrics", file=sys.stderr)
     rng = np.random.default_rng(args.seed)
     item_ids = list(service.graph.items())
     periods = args.drift_periods + 1
@@ -360,11 +377,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "throughput_rps": answered / elapsed if elapsed > 0 else 0.0,
         }
 
+    def _linger() -> None:
+        # Keep the exporter scrapeable after the workload so harnesses
+        # (CI obs-smoke, `repro top`) can observe the final state.
+        if exporter is not None and args.linger_s > 0:
+            _time.sleep(args.linger_s)
+
     try:
-        workload = asyncio.run(run())
-    except ServingError as exc:
-        print(f"error: serving unrecoverable: {exc}", file=sys.stderr)
-        return SERVE_EXIT_SHED
+        try:
+            workload = asyncio.run(run())
+        except ServingError as exc:
+            print(f"error: serving unrecoverable: {exc}", file=sys.stderr)
+            _linger()
+            return SERVE_EXIT_SHED
+        return _serve_report(args, service, runtime, workload, _linger)
+    finally:
+        if exporter is not None:
+            exporter.close()
+
+
+def _serve_report(args, service, runtime, workload, linger) -> int:
+    from .serving import Tier
+
     metrics = service.metrics
     latency = metrics.histogram("serving.request_latency_s")
     batches = metrics.histogram("serving.batch_size")
@@ -393,6 +427,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(payload + "\n")
     print(payload)
+    sys.stdout.flush()
+    linger()
     if runtime.tier is Tier.SHED or (
         workload["answered"] == 0 and args.requests > 0
     ):
@@ -400,6 +436,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if runtime.tier is not Tier.FRESH:
         return SERVE_EXIT_DEGRADED
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .observability.console import top
+
+    return top(
+        args.url,
+        interval_s=args.interval_s,
+        iterations=args.iterations,
+        color=not args.no_color,
+    )
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    from .observability.console import tail_events
+
+    return tail_events(
+        args.path,
+        follow=args.follow,
+        trace_id=args.trace_id,
+        component=args.component,
+        color=not args.no_color,
+    )
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -791,10 +850,53 @@ def build_parser() -> argparse.ArgumentParser:
                             "(exercises incremental refresh + hot swap)")
     serve.add_argument("--drift-sigma", type=float, default=0.15,
                        help="popularity shock size per drift period")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="N",
+                       help="expose /metrics, /healthz and /readyz on "
+                            "127.0.0.1:N (0 picks an ephemeral port, "
+                            "announced on stderr)")
+    serve.add_argument("--log", default=None, metavar="PATH",
+                       help="write JSON-lines structured events to PATH "
+                            "('-' for stderr); also honours $REPRO_LOG")
+    serve.add_argument("--linger-s", type=float, default=0.0,
+                       metavar="S",
+                       help="after the workload, keep the metrics "
+                            "exporter scrapeable for S seconds")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("-o", "--output", default=None,
                        help="also write the JSON report to this file")
     serve.set_defaults(func=_cmd_serve)
+
+    top = sub.add_parser(
+        "top",
+        help="live serving dashboard polling a /metrics endpoint",
+    )
+    top.add_argument("url", help="exporter base URL, e.g. "
+                                 "http://127.0.0.1:9464")
+    top.add_argument("--interval-s", type=float, default=2.0,
+                     help="refresh period (default 2s)")
+    top.add_argument("--iterations", type=int, default=None,
+                     help="stop after N frames (default: until Ctrl-C)")
+    top.add_argument("--no-color", action="store_true",
+                     help="plain ASCII output (no ANSI escapes)")
+    top.set_defaults(func=_cmd_top)
+
+    events = sub.add_parser(
+        "events",
+        help="pretty-print a structured event log (JSON lines)",
+    )
+    events.add_argument("path", help="event log file written via --log "
+                                     "or $REPRO_LOG")
+    events.add_argument("--follow", "-f", action="store_true",
+                        help="keep reading as the file grows (tail -f)")
+    events.add_argument("--trace-id", default=None,
+                        help="only events belonging to this trace "
+                             "(matches fan-in batch groups too)")
+    events.add_argument("--component", default=None,
+                        help="only events from this component")
+    events.add_argument("--no-color", action="store_true",
+                        help="plain ASCII output (no ANSI escapes)")
+    events.set_defaults(func=_cmd_events)
 
     stats = sub.add_parser("stats", help="dataset statistics")
     stats.add_argument("--clickstream", default=None)

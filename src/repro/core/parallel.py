@@ -68,7 +68,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import SolverError
-from ..observability import coerce_tracer
+from ..observability import coerce_tracer, logs
 from .csr import CSRGraph, as_csr
 from .gain import GreedyState, order_digest
 from .kernels import KernelBackend, get_kernels
@@ -91,6 +91,9 @@ _WORKER_VARIANT: Optional[Variant] = None
 _WORKER_KERNELS: Optional[KernelBackend] = None
 _WORKER_SHARED: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
+_LOG = logs.get_logger("parallel")
+_WORKER_LOG = logs.get_logger("parallel.worker")
+
 
 class _WorkerFault(Exception):
     """Internal: worker ``index`` crashed or timed out (supervision path).
@@ -110,13 +113,16 @@ def _pipe_worker_loop(conn, lo: int, hi: int) -> None:
 
     Control messages (tuples, first element is the tag):
 
-    * ``("gains", seq, base_epoch, base_digest, delta)`` — verify the
-      replica sits exactly at ``(base_epoch, base_digest)``; on match
-      replay ``delta`` and answer ``("ok", seq, epoch, block)``, on
-      mismatch answer ``("resync", seq, epoch)`` *without* mutating the
-      replica.
-    * ``("sync", seq, order)`` — rebuild the replica from scratch by
-      replaying ``order``; answer ``("synced", seq, epoch)``.
+    * ``("gains", seq, base_epoch, base_digest, delta[, trace])`` —
+      verify the replica sits exactly at ``(base_epoch, base_digest)``;
+      on match replay ``delta`` and answer ``("ok", seq, epoch,
+      block)``, on mismatch answer ``("resync", seq, epoch)`` *without*
+      mutating the replica.  ``trace`` is the parent's trace id; when
+      structured logging is on (the sink is inherited across the fork)
+      the worker stamps it on its round records so one grep follows a
+      query into the pool and back.
+    * ``("sync", seq, order[, trace])`` — rebuild the replica from
+      scratch by replaying ``order``; answer ``("synced", seq, epoch)``.
     * ``("ping", seq)`` — liveness probe; answer ``("pong", seq)``.
     * ``("stop",)`` — exit.
 
@@ -136,17 +142,23 @@ def _pipe_worker_loop(conn, lo: int, hi: int) -> None:
             seq = message[1] if len(message) > 1 else 0
             try:
                 if tag == "gains":
-                    _, seq, base_epoch, base_digest, delta = message
+                    seq, base_epoch, base_digest, delta = message[1:5]
+                    trace = message[5] if len(message) > 5 else None
                     if (state.epoch != base_epoch
                             or state.order_digest != base_digest):
                         conn.send(("resync", seq, state.epoch))
                         continue
                     for node in delta:
                         state.add_node(node)
+                    if logs._SINK is not None and trace:
+                        _WORKER_LOG.event(
+                            "worker_round", trace_id=trace, seq=seq,
+                            epoch=state.epoch, lo=lo, hi=hi,
+                        )
                     conn.send(("ok", seq, state.epoch,
                                state.gains_range(lo, hi)))
                 elif tag == "sync":
-                    _, seq, order = message
+                    seq, order = message[1], message[2]
                     state = GreedyState(csr, variant, kernels=kernels)
                     for node in order:
                         state.add_node(node)
@@ -170,9 +182,11 @@ def _shm_worker_loop(conn, lo: int, hi: int) -> None:
 
     The worker is stateless (the solver state lives in the shared
     buffers), so there is no replica to go stale; rounds are still
-    stamped — ``b"gains <seq> <epoch>"`` is acked as
-    ``b"ok <seq> <epoch>"`` — so the parent can discard out-of-date
-    acks after a worker restart.
+    stamped — ``b"gains <seq> <epoch>[ <trace>]"`` is acked as
+    ``b"ok <seq> <epoch>[ <trace>]"`` — so the parent can discard
+    out-of-date acks after a worker restart.  The optional third token
+    is the parent's trace id; with structured logging inherited across
+    the fork the worker stamps it on its round records.
     """
     csr = _WORKER_GRAPH
     kernels = _WORKER_KERNELS
@@ -190,6 +204,18 @@ def _shm_worker_loop(conn, lo: int, hi: int) -> None:
                         lo, hi, csr.in_ptr, csr.in_src, csr.in_weight,
                         csr.node_weight, in_set, deficit, independent,
                     )
+                    if logs._SINK is not None:
+                        parts = rest.split(b" ")
+                        if len(parts) > 2 and parts[2] != b"-":
+                            _WORKER_LOG.event(
+                                "worker_round",
+                                trace_id=parts[2].decode(
+                                    "ascii", "replace"
+                                ),
+                                seq=int(parts[0]),
+                                epoch=int(parts[1]),
+                                lo=lo, hi=hi,
+                            )
                     conn.send_bytes(b"ok " + rest)
                 except Exception:
                     conn.send_bytes(
@@ -359,6 +385,7 @@ class ParallelGainEvaluator:
             raise
         if self.tracer.enabled:
             self.tracer.incr(f"parallel.start.{self.backend}")
+            self.tracer.set_gauge("parallel.pool_size", len(self._procs))
 
     def _spawn_worker(self, ctx, lo: int, hi: int):
         """Fork one worker for the candidate block ``[lo, hi)``.
@@ -659,7 +686,10 @@ class ParallelGainEvaluator:
         np.copyto(self._shared_in_set, state.in_set)
         np.copyto(self._shared_deficit, state.deficit)
         seq = self._next_seq()
-        request = b"gains %d %d" % (seq, state.epoch)
+        # Stamp the round with the ambient trace id (``-`` when no span
+        # is active) so worker-side records correlate with the parent's.
+        trace = logs.current_trace_id() or "-"
+        request = b"gains %d %d %s" % (seq, state.epoch, trace.encode())
 
         def resend(index: int) -> None:
             self._send(index, request)
@@ -669,25 +699,49 @@ class ParallelGainEvaluator:
                 self._send(index, request)
             except _WorkerFault as fault:
                 self._revive(index, fault.reason, resend)
+        ack_times = []
         for index in range(len(self._conns)):
             wait_start = time.perf_counter()
             self._shm_collect(index, seq, resend)
+            ack_times.append(time.perf_counter() - round_start)
             if tracer.enabled:
                 tracer.observe(
                     f"parallel.worker{index}.recv_s",
                     time.perf_counter() - wait_start,
                 )
         gains = self._shared_gains.copy()
+        round_s = time.perf_counter() - round_start
         if tracer.enabled:
             tracer.incr("parallel.rounds")
             # State published + gains drained: 1 byte/flag + 8/deficit +
             # 8/gain per item, vs O(n) *pickled* floats per worker for
             # the pipe protocol.
             tracer.incr("parallel.shared_bytes", 17 * state.in_set.shape[0])
-            tracer.observe(
-                "parallel.round_s", time.perf_counter() - round_start
+            tracer.observe("parallel.round_s", round_s)
+            self._observe_utilization(ack_times, round_s)
+        if logs._SINK is not None:
+            _LOG.event(
+                "round", backend="shm", seq=seq, epoch=state.epoch,
+                workers=len(self._conns), round_s=round(round_s, 6),
             )
         return gains
+
+    def _observe_utilization(
+        self, ack_times: List[float], round_s: float
+    ) -> None:
+        """Fold one round's busy-fraction proxy into the tracer.
+
+        Each worker computes from round start until its ack lands, so
+        ``mean(time-to-ack) / round wall time`` upper-bounds the pool's
+        busy fraction; 1.0 means every worker worked the whole round,
+        values near ``1/N`` mean one straggler held the round open.
+        """
+        if not ack_times or round_s <= 0:
+            return
+        utilization = min(
+            1.0, sum(ack_times) / (len(ack_times) * round_s)
+        )
+        self.tracer.observe("parallel.pool_utilization", utilization)
 
     def _shm_collect(self, index: int, seq: int, resend) -> None:
         """Wait for worker ``index`` to ack round ``seq``."""
@@ -736,21 +790,26 @@ class ParallelGainEvaluator:
             or base_digest != order_digest(state.order[:base_epoch])
         )
         order = list(state.order)
+        # Trace stamp mirrored from the shm protocol: workers log their
+        # round records against the parent's trace id.
+        trace = logs.current_trace_id()
         if stale:
             self.resyncs += 1
             if tracer.enabled:
                 tracer.incr("parallel.resyncs")
-            request = ("gains", seq, state.epoch, state.order_digest, [])
+            request = ("gains", seq, state.epoch, state.order_digest, [],
+                       trace)
         else:
             request = ("gains", seq, base_epoch, base_digest,
-                       order[base_epoch:])
+                       order[base_epoch:], trace)
 
         def resend(index: int) -> None:
             # A fresh fork holds an empty replica: rebuild it, then
             # re-issue the round against the rebuilt base.
             self._send(index, ("sync", seq, order))
             self._send(
-                index, ("gains", seq, state.epoch, state.order_digest, [])
+                index,
+                ("gains", seq, state.epoch, state.order_digest, [], trace),
             )
 
         for index in range(len(self._conns)):
@@ -761,9 +820,11 @@ class ParallelGainEvaluator:
             except _WorkerFault as fault:
                 self._revive(index, fault.reason, resend)
         gains = np.empty(self.csr.n_items, dtype=np.float64)
+        ack_times = []
         for index, (lo, hi) in enumerate(self._bounds):
             wait_start = time.perf_counter()
             gains[lo:hi] = self._pipe_collect(index, seq, state, resend)
+            ack_times.append(time.perf_counter() - round_start)
             if tracer.enabled:
                 tracer.observe(
                     f"parallel.worker{index}.recv_s",
@@ -771,11 +832,17 @@ class ParallelGainEvaluator:
                 )
         self._replica_epoch = state.epoch
         self._replica_digest = state.order_digest
+        round_s = time.perf_counter() - round_start
         if tracer.enabled:
             tracer.incr("parallel.rounds")
             tracer.incr("parallel.piped_floats", self.csr.n_items)
-            tracer.observe(
-                "parallel.round_s", time.perf_counter() - round_start
+            tracer.observe("parallel.round_s", round_s)
+            self._observe_utilization(ack_times, round_s)
+        if logs._SINK is not None:
+            _LOG.event(
+                "round", backend="pipe", seq=seq, epoch=state.epoch,
+                workers=len(self._conns), resync=stale,
+                round_s=round(round_s, 6),
             )
         return gains
 
@@ -810,7 +877,8 @@ class ParallelGainEvaluator:
                     self._send(index, ("sync", seq, list(state.order)))
                     self._send(
                         index,
-                        ("gains", seq, state.epoch, state.order_digest, []),
+                        ("gains", seq, state.epoch, state.order_digest, [],
+                         logs.current_trace_id()),
                     )
                 except _WorkerFault as fault:
                     self._revive(index, fault.reason, resend)

@@ -42,7 +42,9 @@ from .core.parallel import PARALLEL_BACKENDS
 from .core.threshold import greedy_threshold_solve
 from .core.variants import Variant
 from .errors import SolverError, SolverInterrupted
-from .observability import MetricsRegistry, SolverTrace, Telemetry
+from .observability import MetricsRegistry, SolverTrace, Telemetry, logs
+
+_LOG = logs.get_logger("facade")
 
 #: Constraint keys understood by :func:`solve`.
 CONSTRAINT_KEYS = (
@@ -269,6 +271,23 @@ def solve(
             tracer=tracer, kernels=kernels,
         )
 
+    # Correlation: a solve inside an active span (e.g. a serving
+    # refresh) joins that trace; a bare library call opens its own only
+    # when structured logging is on, so the default path stays silent.
+    trace_scope = (
+        logs.span("facade")
+        if (logs.logging_enabled() or logs.current_trace() is not None)
+        else None
+    )
+    if trace_scope is not None:
+        trace_scope.__enter__()
+        _LOG.event(
+            "solve_start",
+            variant=variant.value,
+            k=k, threshold=threshold, strategy=strategy,
+            n_items=graph.n_items,
+            context_digest=context_digest[:12],
+        )
     try:
         with metrics.time("facade.solve"):
             if budget is not None:
@@ -329,17 +348,34 @@ def solve(
         # The guard tripped with on_trigger="raise": attach telemetry to
         # the partial result so the caller loses nothing but the tail.
         metrics.incr("facade.interrupted")
+        if trace_scope is not None:
+            _LOG.warning("solve_end", outcome="interrupted")
+            trace_scope.__exit__(None, None, None)
         if exc.partial is not None:
             exc.partial = dataclasses.replace(
                 exc.partial, telemetry=telemetry,
                 context_digest=context_digest,
             )
         raise
+    except BaseException:
+        if trace_scope is not None:
+            _LOG.error("solve_end", outcome="failed")
+            trace_scope.__exit__(None, None, None)
+        raise
 
     metrics.incr("facade.calls")
     metrics.incr(f"facade.dispatch.{result.strategy}")
     if result.interrupted:
         metrics.incr("facade.interrupted")
+    if trace_scope is not None:
+        _LOG.event(
+            "solve_end",
+            outcome="interrupted" if result.interrupted else "solved",
+            strategy=result.strategy,
+            cover=round(float(result.cover), 6),
+            retained=len(result.retained),
+        )
+        trace_scope.__exit__(None, None, None)
     return dataclasses.replace(
         result, telemetry=telemetry, context_digest=context_digest
     )

@@ -1,10 +1,20 @@
-"""Dependency-free solver observability: metrics, traces, telemetry.
+"""Dependency-free operations plane: metrics, traces, logs, exposition.
 
-The subsystem has two halves:
+The subsystem has four halves:
 
-* :class:`MetricsRegistry` — named counters, timers and histograms;
+* :class:`MetricsRegistry` — named, optionally labeled counters,
+  timers, histograms and gauges, thread-safe, with one canonical
+  ``snapshot()`` feeding every export path;
 * :class:`SolverTrace` — an ordered per-iteration/per-stage event
-  stream that owns a registry, with JSONL export.
+  stream that owns a registry, with JSONL export;
+* :mod:`~repro.observability.logs` — structured JSON-lines logging
+  with context-var :class:`TraceContext` correlation (silent unless
+  configured);
+* :mod:`~repro.observability.exposition` /
+  :class:`~repro.observability.exporter.MetricsExporter` — Prometheus
+  text rendering and the ``/metrics`` / ``/healthz`` / ``/readyz``
+  HTTP sidecar, plus the ``repro top`` / ``repro events`` console in
+  :mod:`~repro.observability.console`.
 
 Solvers accept any tracer-shaped object; the default
 :data:`NULL_TRACER` (an instance of :class:`NullTracer`) makes every
@@ -12,10 +22,33 @@ recording call a no-op so un-instrumented runs pay ~zero cost.  The
 facade :func:`repro.solve` wires a tracer through the dispatch and
 attaches the resulting :class:`Telemetry` to ``SolveResult.telemetry``.
 
-See ``docs/observability.md`` for the event schema and metric names.
+See ``docs/observability.md`` for the metric catalogue, log record
+schema and endpoint contract.
 """
 
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Timer
+from .exporter import MetricsExporter
+from .exposition import parse_exposition, render_exposition
+from .logs import (
+    EventLogger,
+    TraceContext,
+    configure_logging,
+    current_trace,
+    current_trace_id,
+    get_logger,
+    logging_enabled,
+    new_trace_id,
+    reset_logging,
+    span,
+)
+from .metrics import (
+    COUNT_BUCKETS,
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
 from .trace import (
     NULL_TRACER,
     NullTracer,
@@ -26,15 +59,30 @@ from .trace import (
 )
 
 __all__ = [
+    "COUNT_BUCKETS",
     "Counter",
+    "DEFAULT_BUCKETS",
+    "EventLogger",
     "Gauge",
     "Histogram",
+    "MetricsExporter",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "SolverTrace",
     "Telemetry",
     "Timer",
+    "TraceContext",
     "TraceEvent",
     "coerce_tracer",
+    "configure_logging",
+    "current_trace",
+    "current_trace_id",
+    "get_logger",
+    "logging_enabled",
+    "new_trace_id",
+    "parse_exposition",
+    "render_exposition",
+    "reset_logging",
+    "span",
 ]

@@ -1,0 +1,345 @@
+"""Operator console: the ``repro top`` dashboard and ``repro events`` tail.
+
+``repro top`` polls a :class:`~repro.observability.exporter.MetricsExporter`
+``/metrics`` endpoint and renders a curses-free ANSI dashboard — current
+degradation tier, breaker state, qps (scrape-over-scrape counter
+delta), per-tier p50/p99 latency estimated from the cumulative bucket
+series, snapshot staleness and quarantine totals.  ``repro events``
+tails the structured JSON-lines log written by
+:mod:`repro.observability.logs`, optionally following the file and
+filtering to one trace id (matching either a record's own ``trace_id``
+or its batch fan-in ``trace_ids`` group).
+
+Everything here is read-only over the wire formats — the console can
+run on a different host from the serving process.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, List, Optional, TextIO, Tuple
+
+from .exposition import LabelSet, bucket_quantile, parse_exposition
+from .logs import record_matches_trace
+
+#: ANSI escapes used by the dashboard (empty strings when color is off).
+_ANSI = {
+    "reset": "\x1b[0m", "bold": "\x1b[1m", "dim": "\x1b[2m",
+    "green": "\x1b[32m", "yellow": "\x1b[33m", "red": "\x1b[31m",
+    "clear": "\x1b[H\x1b[2J",
+}
+
+_TIER_NAMES = {0: "fresh", 1: "stale", 2: "static", 3: "shed"}
+_TIER_COLOR = {0: "green", 1: "yellow", 2: "yellow", 3: "red"}
+_BREAKER_NAMES = {0: "closed", 1: "open", 2: "half-open"}
+_BREAKER_COLOR = {0: "green", 1: "red", 2: "yellow"}
+
+
+def fetch_metrics(
+    url: str, timeout_s: float = 2.0
+) -> Dict[str, Dict[LabelSet, float]]:
+    """Scrape ``url``'s ``/metrics`` endpoint into parsed series.
+
+    ``url`` may be the exporter base (``http://host:port``) or the full
+    ``/metrics`` path.
+    """
+    if not url.startswith(("http://", "https://")):
+        url = f"http://{url}"
+    if not url.rstrip("/").endswith("/metrics"):
+        url = url.rstrip("/") + "/metrics"
+    with urllib.request.urlopen(url, timeout=timeout_s) as response:
+        return parse_exposition(response.read().decode("utf-8"))
+
+
+def _series_value(
+    series: Dict[str, Dict[LabelSet, float]], name: str
+) -> Optional[float]:
+    rows = series.get(name)
+    if not rows:
+        return None
+    return rows.get((), next(iter(rows.values())))
+
+
+def _sum_series(
+    series: Dict[str, Dict[LabelSet, float]], name: str
+) -> float:
+    return sum(series.get(name, {}).values())
+
+
+def _latency_by_tier(
+    series: Dict[str, Dict[LabelSet, float]]
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Cumulative latency buckets grouped by their ``tier`` label."""
+    grouped: Dict[str, List[Tuple[float, float]]] = {}
+    rows = series.get("repro_serving_answer_latency_seconds_bucket", {})
+    for labels, value in rows.items():
+        label_map = dict(labels)
+        bound = label_map.get("le")
+        if bound is None:
+            continue
+        tier = label_map.get("tier", "all")
+        upper = float("inf") if bound == "+Inf" else float(bound)
+        grouped.setdefault(tier, []).append((upper, value))
+    for buckets in grouped.values():
+        buckets.sort(key=lambda pair: pair[0])
+    return grouped
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value < 0.001:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.2f}s"
+
+
+def render_dashboard(
+    series: Dict[str, Dict[LabelSet, float]],
+    previous: Optional[Dict[str, Dict[LabelSet, float]]] = None,
+    interval_s: float = 1.0,
+    *,
+    color: bool = True,
+) -> str:
+    """One dashboard frame from a scrape (and optionally the prior one).
+
+    ``previous`` + ``interval_s`` turn cumulative counters into rates
+    (qps); with a single scrape the rate column shows totals instead.
+    """
+    def paint(text: str, *styles: str) -> str:
+        if not color:
+            return text
+        prefix = "".join(_ANSI[style] for style in styles)
+        return f"{prefix}{text}{_ANSI['reset']}"
+
+    lines: List[str] = []
+    tier_value = _series_value(series, "repro_serving_tier")
+    tier_code = int(tier_value) if tier_value is not None else None
+    tier_text = _TIER_NAMES.get(tier_code, "unknown")
+    breaker_value = _series_value(series, "repro_serving_breaker_state")
+    breaker_code = int(breaker_value) if breaker_value is not None else None
+    breaker_text = _BREAKER_NAMES.get(breaker_code, "unknown")
+
+    queries = _sum_series(series, "repro_serving_queries_total")
+    if previous is not None and interval_s > 0:
+        delta = queries - _sum_series(previous, "repro_serving_queries_total")
+        rate_text = f"{max(0.0, delta) / interval_s:,.1f} qps"
+    else:
+        rate_text = f"{queries:,.0f} queries total"
+
+    lines.append(paint("repro serving", "bold"))
+    lines.append(
+        "  tier: "
+        + paint(tier_text, _TIER_COLOR.get(tier_code, "dim"), "bold")
+        + "    breaker: "
+        + paint(breaker_text, _BREAKER_COLOR.get(breaker_code, "dim"), "bold")
+        + f"    load: {rate_text}"
+    )
+
+    staleness = _series_value(series, "repro_serving_staleness_seconds")
+    retries = _sum_series(series, "repro_serving_retries_total")
+    refresh_failures = _sum_series(
+        series, "repro_serving_refresh_failures_total"
+    )
+    quarantined = _sum_series(series, "repro_ingest_quarantined_total")
+    deadline_misses = _sum_series(
+        series, "repro_serving_deadline_exceeded_total"
+    )
+    lines.append(
+        f"  staleness: {_fmt_seconds(staleness)}    "
+        f"retries: {retries:.0f}    "
+        f"refresh failures: {refresh_failures:.0f}"
+    )
+    lines.append(
+        f"  quarantined: {quarantined:.0f}    "
+        f"deadline misses: {deadline_misses:.0f}"
+    )
+
+    grouped = _latency_by_tier(series)
+    if grouped:
+        lines.append("")
+        lines.append(
+            paint(f"  {'tier':<8s} {'count':>8s} {'p50':>10s} "
+                  f"{'p99':>10s}", "dim")
+        )
+        for tier in sorted(grouped):
+            buckets = grouped[tier]
+            count = buckets[-1][1] if buckets else 0
+            lines.append(
+                f"  {tier:<8s} {count:>8.0f} "
+                f"{_fmt_seconds(bucket_quantile(buckets, 0.50)):>10s} "
+                f"{_fmt_seconds(bucket_quantile(buckets, 0.99)):>10s}"
+            )
+
+    occupancy = series.get("repro_serving_batch_occupancy_count", {})
+    if occupancy:
+        batches = sum(occupancy.values())
+        members = _sum_series(series, "repro_serving_batch_occupancy_sum")
+        mean = members / batches if batches else 0.0
+        lines.append("")
+        lines.append(
+            f"  batches: {batches:.0f} sealed, "
+            f"{mean:.1f} queries/batch mean"
+        )
+    return "\n".join(lines)
+
+
+def top(
+    url: str,
+    *,
+    interval_s: float = 2.0,
+    iterations: Optional[int] = None,
+    color: bool = True,
+    stream: TextIO = sys.stdout,
+    clock=time.monotonic,
+    sleep=time.sleep,
+) -> int:
+    """Poll ``url`` and repaint the dashboard until interrupted.
+
+    ``iterations`` bounds the loop (``repro top --once`` passes 1 and
+    skips the screen-clear so the frame composes with shell pipelines).
+    Returns a process exit code: 0, or 1 when the exporter was never
+    reachable.
+    """
+    previous = None
+    previous_at = None
+    frames = 0
+    reachable = False
+    try:
+        while iterations is None or frames < iterations:
+            try:
+                series = fetch_metrics(url)
+                reachable = True
+                now = clock()
+                elapsed = (
+                    now - previous_at
+                    if previous_at is not None
+                    else interval_s
+                )
+                frame = render_dashboard(
+                    series, previous, elapsed, color=color
+                )
+                previous, previous_at = series, now
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                frame = f"repro top: {url} unreachable ({exc})"
+            if color and iterations != 1:
+                stream.write(_ANSI["clear"])
+            stream.write(frame + "\n")
+            stream.flush()
+            frames += 1
+            if iterations is not None and frames >= iterations:
+                break
+            sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return 0 if reachable else 1
+
+
+def iter_events(
+    path: str,
+    *,
+    follow: bool = False,
+    trace_id: Optional[str] = None,
+    component: Optional[str] = None,
+    poll_s: float = 0.2,
+    sleep=time.sleep,
+    stop=lambda: False,
+) -> Iterator[dict]:
+    """Yield parsed records from a structured log, oldest first.
+
+    ``follow`` keeps the file open and polls for appended lines (à la
+    ``tail -f``) until ``stop()`` returns true.  Malformed lines are
+    skipped.  Filters: ``trace_id`` keeps records matching
+    :func:`~repro.observability.logs.record_matches_trace`;
+    ``component`` keeps records from one emitter.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        while True:
+            line = handle.readline()
+            if not line:
+                if not follow or stop():
+                    return
+                sleep(poll_s)
+                continue
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            if trace_id and not record_matches_trace(record, trace_id):
+                continue
+            if component and record.get("component") != component:
+                continue
+            yield record
+
+
+def format_event(record: dict, *, color: bool = True) -> str:
+    """One human-scannable line per record (full JSON stays on disk)."""
+    level = record.get("level", "info")
+    level_style = {
+        "error": "red", "warning": "yellow", "debug": "dim",
+    }.get(level)
+    timestamp = record.get("ts")
+    clock = (
+        time.strftime("%H:%M:%S", time.localtime(timestamp))
+        if isinstance(timestamp, (int, float)) else "--:--:--"
+    )
+    head = (
+        f"{clock} {record.get('component', '?'):<10s} "
+        f"{record.get('event', '?'):<24s}"
+    )
+    if color and level_style:
+        head = f"{_ANSI[level_style]}{head}{_ANSI['reset']}"
+    trace = record.get("trace_id")
+    detail = " ".join(
+        f"{key}={record[key]}"
+        for key in record
+        if key not in (
+            "ts", "level", "component", "event", "trace_id", "span_id",
+            "trace_ids",
+        )
+    )
+    parts = [head]
+    if trace:
+        parts.append(f"trace={trace}")
+    group = record.get("trace_ids")
+    if group and len(group) > 1:
+        # Fan-in groups can hold hundreds of ids; the count is what a
+        # scanning operator needs (the full list stays in the JSON).
+        parts.append(f"fan_in={len(group)}")
+    if detail:
+        parts.append(detail)
+    return " ".join(parts)
+
+
+def tail_events(
+    path: str,
+    *,
+    follow: bool = False,
+    trace_id: Optional[str] = None,
+    component: Optional[str] = None,
+    color: bool = True,
+    stream: TextIO = sys.stdout,
+) -> int:
+    """``repro events`` driver: print matching records as they arrive."""
+    try:
+        for record in iter_events(
+            path, follow=follow, trace_id=trace_id, component=component
+        ):
+            stream.write(format_event(record, color=color) + "\n")
+            stream.flush()
+    except FileNotFoundError:
+        stream.write(f"repro events: no log at {path}\n")
+        return 1
+    except KeyboardInterrupt:
+        pass
+    return 0

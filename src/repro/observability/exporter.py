@@ -1,0 +1,155 @@
+"""Stdlib HTTP sidecar exposing metrics and health endpoints.
+
+:class:`MetricsExporter` runs a :class:`http.server.ThreadingHTTPServer`
+on a daemon thread and serves three endpoints:
+
+* ``GET /metrics`` — the registry's Prometheus text exposition
+  (rendered fresh per scrape from ``registry.snapshot()``);
+* ``GET /healthz`` — liveness: 200 as long as the process answers;
+* ``GET /readyz`` — readiness: delegates to the ``readiness`` callable
+  (200 when it returns a truthy verdict, 503 otherwise, with a JSON
+  detail body either way).  With no callable configured readiness
+  equals liveness.
+
+``repro serve --metrics-port N`` wires the serving runtime's verdict in
+(tier at most *stale* and breaker not open); port ``0`` binds an
+ephemeral port — read it back from :attr:`MetricsExporter.port`, which
+the CLI prints so smoke tests can scrape without racing on a fixed
+port.  No third-party dependencies; scrapes never block the serving
+path (each reads one consistent snapshot under the registry locks).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Mapping, Optional, Tuple
+
+from .exposition import render_exposition
+from .metrics import MetricsRegistry
+
+#: ``readiness`` verdict: (ready, detail-dict).
+ReadinessProbe = Callable[[], Tuple[bool, Mapping]]
+
+
+class _ExporterHandler(BaseHTTPRequestHandler):
+    """Request handler bound to one exporter instance via the server."""
+
+    server_version = "repro-exporter/1"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        exporter: "MetricsExporter" = self.server.exporter  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_exposition(exporter.registry.snapshot())
+            self._reply(
+                200, body.encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif path == "/healthz":
+            self._reply_json(200, {"status": "ok"})
+        elif path == "/readyz":
+            ready, detail = exporter.readiness_verdict()
+            payload = {"status": "ready" if ready else "unready"}
+            payload.update(detail)
+            self._reply_json(200 if ready else 503, payload)
+        else:
+            self._reply_json(404, {"error": f"unknown path {path!r}"})
+
+    def _reply_json(self, status: int, payload: Mapping) -> None:
+        self._reply(
+            status,
+            (json.dumps(payload) + "\n").encode("utf-8"),
+            "application/json",
+        )
+
+    def _reply(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        """Silence per-request stderr chatter (scrapes are periodic)."""
+
+
+class MetricsExporter:
+    """Background HTTP server exposing one :class:`MetricsRegistry`.
+
+    Usable as a context manager::
+
+        with MetricsExporter(registry, port=0) as exporter:
+            print(exporter.url)          # http://127.0.0.1:<port>
+            ...
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        readiness: Optional[ReadinessProbe] = None,
+    ) -> None:
+        self.registry = registry
+        self.readiness = readiness
+        self._server = ThreadingHTTPServer((host, port), _ExporterHandler)
+        self._server.daemon_threads = True
+        self._server.exporter = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ephemeral port 0 requests)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the exporter (no trailing slash)."""
+        return f"http://{self.host}:{self.port}"
+
+    def readiness_verdict(self) -> Tuple[bool, Mapping]:
+        """Evaluate the readiness probe (ready + empty detail if none).
+
+        A crashing probe reports unready rather than a 500 — the
+        exporter must stay scrapeable while the thing it watches
+        misbehaves.
+        """
+        if self.readiness is None:
+            return True, {}
+        try:
+            return self.readiness()
+        except Exception as exc:  # pragma: no cover - defensive
+            return False, {"error": f"{type(exc).__name__}: {exc}"}
+
+    def start(self) -> "MetricsExporter":
+        """Start serving on a daemon thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-metrics-exporter",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the server and release the port."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsExporter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,216 @@
+"""Prometheus text-format rendering of a :class:`MetricsRegistry` snapshot.
+
+:func:`render_exposition` turns the canonical
+:meth:`~repro.observability.metrics.MetricsRegistry.snapshot` dump into
+the Prometheus text exposition format (version 0.0.4):
+
+* counters become ``repro_<name>_total``;
+* timers become summaries — ``_sum`` (seconds) and ``_count``;
+* histograms become cumulative ``_bucket{le="..."}`` series plus
+  ``_sum`` / ``_count``;
+* gauges are exported as-is (unset gauges are skipped).
+
+Metric names are sanitized to ``[a-zA-Z0-9_]``, prefixed with
+``repro_``, and a trailing ``_s`` duration suffix is spelled out as
+``_seconds`` per Prometheus naming conventions.  Labels recorded on the
+instrument are rendered inline and merged with the histogram ``le``
+label.
+
+:func:`parse_exposition` is the inverse used by ``repro top`` and the
+smoke tests: it reads the text format back into a flat
+``{name: {labels_tuple: value}}`` mapping, and
+:func:`bucket_quantile` interpolates quantiles from cumulative bucket
+series so the dashboard can show p50/p99 without raw observations.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Prefix stamped on every exported series.
+NAMESPACE = "repro"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+_SERIES_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an internal dotted metric name onto a Prometheus name.
+
+    ``serving.answer_latency_s`` → ``repro_serving_answer_latency_seconds``.
+    """
+    flat = _INVALID_CHARS.sub("_", name)
+    if flat.endswith("_s"):
+        flat = flat[:-2] + "_seconds"
+    return f"{NAMESPACE}_{flat}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(str(labels[key]))}"'
+        for key in sorted(labels)
+    )
+    return "{" + inner + "}"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def render_exposition(snapshot: Mapping) -> str:
+    """Render a ``MetricsRegistry.snapshot()`` dump as Prometheus text.
+
+    Rows sharing a metric name (label variants) are grouped under one
+    ``# TYPE`` header.  The returned text ends with a newline, as the
+    format requires.
+    """
+    lines: List[str] = []
+    typed: Dict[str, str] = {}
+
+    def emit_type(prom_name: str, kind: str) -> None:
+        if typed.get(prom_name) != kind:
+            typed[prom_name] = kind
+            lines.append(f"# TYPE {prom_name} {kind}")
+
+    for row in snapshot.get("counters", ()):
+        prom = sanitize_metric_name(row["name"]) + "_total"
+        emit_type(prom, "counter")
+        lines.append(
+            f"{prom}{_render_labels(row['labels'])} "
+            f"{_format_value(row['value'])}"
+        )
+
+    for row in snapshot.get("gauges", ()):
+        if row["value"] is None:
+            continue
+        prom = sanitize_metric_name(row["name"])
+        emit_type(prom, "gauge")
+        lines.append(
+            f"{prom}{_render_labels(row['labels'])} "
+            f"{_format_value(row['value'])}"
+        )
+
+    for row in snapshot.get("timers", ()):
+        base = sanitize_metric_name(row["name"])
+        if not base.endswith("_seconds"):
+            base += "_seconds"
+        emit_type(base, "summary")
+        labels = _render_labels(row["labels"])
+        lines.append(f"{base}_sum{labels} {_format_value(row['total_s'])}")
+        lines.append(f"{base}_count{labels} {_format_value(row['count'])}")
+
+    for row in snapshot.get("histograms", ()):
+        prom = sanitize_metric_name(row["name"])
+        emit_type(prom, "histogram")
+        for bound, cumulative in row["buckets"]:
+            bucket_labels = dict(row["labels"])
+            bucket_labels["le"] = _format_value(float(bound))
+            lines.append(
+                f"{prom}_bucket{_render_labels(bucket_labels)} "
+                f"{_format_value(cumulative)}"
+            )
+        inf_labels = dict(row["labels"])
+        inf_labels["le"] = "+Inf"
+        lines.append(
+            f"{prom}_bucket{_render_labels(inf_labels)} "
+            f"{_format_value(row['count'])}"
+        )
+        labels = _render_labels(row["labels"])
+        lines.append(f"{prom}_sum{labels} {_format_value(row['sum'])}")
+        lines.append(f"{prom}_count{labels} {_format_value(row['count'])}")
+
+    return "\n".join(lines) + "\n" if lines else "\n"
+
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[LabelSet, float]]:
+    """Parse Prometheus text back into ``{name: {labels: value}}``.
+
+    ``labels`` keys are sorted ``(key, value)`` tuples (``()`` for the
+    unlabeled series).  Comment/``# TYPE`` lines are skipped; malformed
+    lines are ignored rather than fatal — the console keeps rendering
+    through a partially written scrape.
+    """
+    series: Dict[str, Dict[LabelSet, float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SERIES_LINE.match(line)
+        if not match:
+            continue
+        raw_value = match.group("value")
+        try:
+            if raw_value == "+Inf":
+                value = float("inf")
+            elif raw_value == "-Inf":
+                value = float("-inf")
+            else:
+                value = float(raw_value)
+        except ValueError:
+            continue
+        labels: LabelSet = tuple(
+            sorted(_LABEL_PAIR.findall(match.group("labels") or ""))
+        )
+        series.setdefault(match.group("name"), {})[labels] = value
+    return series
+
+
+def bucket_quantile(
+    buckets: Sequence[Tuple[float, float]], q: float
+) -> Optional[float]:
+    """Estimate quantile ``q`` in [0, 1] from cumulative buckets.
+
+    ``buckets`` is ``[(upper_bound, cumulative_count), ...]`` sorted by
+    bound, with ``+Inf`` as the final bound (Prometheus convention).
+    Linear interpolation inside the target bucket, matching what
+    ``histogram_quantile`` does; returns ``None`` when the series is
+    empty.
+    """
+    if not (0.0 <= q <= 1.0):
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if not buckets:
+        return None
+    ordered = sorted(buckets, key=lambda pair: pair[0])
+    total = ordered[-1][1]
+    if total <= 0:
+        return None
+    target = q * total
+    previous_bound = 0.0
+    previous_count = 0.0
+    for bound, cumulative in ordered:
+        if cumulative >= target:
+            if bound == float("inf"):
+                return previous_bound
+            span = cumulative - previous_count
+            if span <= 0:
+                return bound
+            fraction = (target - previous_count) / span
+            return previous_bound + fraction * (bound - previous_bound)
+        previous_bound = bound
+        previous_count = cumulative
+    return previous_bound

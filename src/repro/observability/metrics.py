@@ -1,17 +1,31 @@
-"""Counters, timers and histograms for solver instrumentation.
+"""Counters, timers, histograms and gauges for solver instrumentation.
 
-:class:`MetricsRegistry` is a flat, name-keyed collection of three
-instrument kinds:
+:class:`MetricsRegistry` is a name-keyed collection of four instrument
+kinds:
 
 * **counters** — monotonically accumulated totals (gain evaluations,
   heap pops, sessions parsed);
 * **timers** — accumulated wall-clock duration plus call count, fed
   either explicitly or through the ``time()`` context manager;
 * **histograms** — streaming summaries (count / min / max / mean /
-  sum) of per-observation values such as per-iteration update widths
-  or per-worker receive latencies.  Only the summary statistics are
-  retained, so a histogram costs O(1) memory no matter how many values
-  it absorbs.
+  sum) of per-observation values plus fixed cumulative buckets for
+  Prometheus-style exposition and a bounded reservoir for p50/p99;
+* **gauges** — point-in-time values (degradation tier, breaker state).
+
+Instruments may carry **labels** (``registry.observe("latency", dt,
+labels={"tier": "fresh"})``): each distinct label set is its own
+instrument, keyed by the flattened ``name{k="v",...}`` form, so the
+per-tier latency breakdown the serving SLOs need is one ``labels=``
+argument away from the unlabeled call.
+
+Concurrent writes are safe — the serving frontend's batcher thread and
+the runtime's refresh path write the same registry at once.  Counters
+stripe their increments per thread (lock-free hot path, exact totals);
+timers, histograms and gauges serialize updates behind per-instrument
+locks; instrument creation is lock-guarded.  Every export path
+(``benchmarks/results/metrics.json``,
+the Prometheus exposition, the legacy ``to_dict``) serializes from the
+single :meth:`MetricsRegistry.snapshot` method.
 
 Everything here is dependency-free standard-library code so the
 instrumentation layer can be imported from the innermost solver loops
@@ -20,43 +34,94 @@ without widening the package's import graph.
 
 from __future__ import annotations
 
+import bisect
 import json
+import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from threading import get_ident
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+#: Default histogram bucket upper bounds (seconds-oriented: the serving
+#: SLO histograms are latencies).  Instruments with a different shape
+#: (batch sizes, retry counts) pass explicit ``buckets=``.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Bucket bounds suited to small-integer distributions (batch sizes,
+#: occupancy counts, retry attempts).
+COUNT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+)
+
+
+def flatten_name(name: str, labels: Optional[Mapping[str, str]]) -> str:
+    """Canonical display key: ``name`` or ``name{k="v",...}`` (sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{labels[key]}"' for key in sorted(labels)
+    )
+    return f"{name}{{{inner}}}"
 
 
 class Counter:
-    """A monotonically increasing total."""
+    """A monotonically increasing total.
 
-    __slots__ = ("name", "value")
+    Increments are striped per thread: each writer updates only its own
+    slot in ``_parts`` (one atomic-under-the-GIL ``dict`` read-modify
+    of a key no other thread touches), so concurrent increments are
+    never lost and the hot path takes no lock.  Reads sum the stripes —
+    a read racing a write may miss that single in-flight increment, but
+    totals are exact once writers quiesce.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "labels", "_parts")
+
+    def __init__(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> None:
         self.name = name
-        self.value = 0.0
+        self.labels = dict(labels) if labels else {}
+        self._parts: Dict[int, float] = {}
 
     def incr(self, amount: float = 1.0) -> None:
         """Add ``amount`` (may be fractional, must not be negative)."""
-        self.value += amount
+        parts = self._parts
+        ident = get_ident()
+        parts[ident] = parts.get(ident, 0.0) + amount
+
+    @property
+    def value(self) -> float:
+        """The exact running total across all writer threads."""
+        return sum(self._parts.copy().values())
 
     def __repr__(self) -> str:
-        return f"Counter({self.name}={self.value:g})"
+        return f"Counter({flatten_name(self.name, self.labels)}" \
+               f"={self.value:g})"
 
 
 class Timer:
     """Accumulated wall-clock duration with a call count."""
 
-    __slots__ = ("name", "total_s", "count")
+    __slots__ = ("name", "labels", "total_s", "count", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> None:
         self.name = name
+        self.labels = dict(labels) if labels else {}
         self.total_s = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def record(self, seconds: float) -> None:
         """Record one timed interval of ``seconds``."""
-        self.total_s += seconds
-        self.count += 1
+        with self._lock:
+            self.total_s += seconds
+            self.count += 1
 
     @contextmanager
     def time(self) -> Iterator["Timer"]:
@@ -74,65 +139,108 @@ class Timer:
 
     def __repr__(self) -> str:
         return (
-            f"Timer({self.name}: total={self.total_s:.6f}s "
-            f"count={self.count})"
+            f"Timer({flatten_name(self.name, self.labels)}: "
+            f"total={self.total_s:.6f}s count={self.count})"
         )
 
 
 class Histogram:
-    """Streaming summary statistics plus approximate percentiles.
+    """Streaming summary statistics, fixed buckets, approximate percentiles.
 
     Exact ``count`` / ``total`` / ``min`` / ``max`` are maintained for
-    every observation.  Percentiles come from a bounded ring buffer of
-    the most recent :attr:`RESERVOIR_SIZE` observations, so memory stays
-    O(1) and the quantiles track the *current* regime — which is what
-    the serving layer's p50/p99 latency readouts want.
+    every observation, along with per-bucket observation counts over the
+    fixed ``buckets`` upper bounds (rendered cumulatively by the
+    Prometheus exposition).  Percentiles come from a bounded ring buffer
+    of the most recent :attr:`RESERVOIR_SIZE` observations, so memory
+    stays O(1) and the quantiles track the *current* regime — which is
+    what the serving layer's p50/p99 latency readouts want.
     """
 
     #: Ring-buffer capacity backing :meth:`percentile`.
     RESERVOIR_SIZE = 512
 
-    __slots__ = ("name", "count", "total", "min", "max", "_reservoir")
+    __slots__ = (
+        "name", "labels", "count", "total", "min", "max",
+        "buckets", "_bucket_counts", "_reservoir", "_lock",
+    )
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        *,
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> None:
         self.name = name
+        self.labels = dict(labels) if labels else {}
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        bounds = tuple(
+            sorted(DEFAULT_BUCKETS if buckets is None else buckets)
+        )
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bounds
+        self._bucket_counts = [0] * len(bounds)
         self._reservoir: list = []
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Fold one observation into the summary."""
         value = float(value)
-        if len(self._reservoir) < self.RESERVOIR_SIZE:
-            self._reservoir.append(value)
-        else:
-            self._reservoir[self.count % self.RESERVOIR_SIZE] = value
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        with self._lock:
+            if len(self._reservoir) < self.RESERVOIR_SIZE:
+                self._reservoir.append(value)
+            else:
+                self._reservoir[self.count % self.RESERVOIR_SIZE] = value
+            slot = bisect.bisect_left(self.buckets, value)
+            if slot < len(self._bucket_counts):
+                self._bucket_counts[slot] += 1
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
         """Mean observed value (0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` rows, Prometheus-style.
+
+        The implicit ``+Inf`` bucket is *not* included — it always
+        equals :attr:`count`.
+        """
+        with self._lock:
+            rows = []
+            running = 0
+            for bound, bucket_count in zip(
+                self.buckets, self._bucket_counts
+            ):
+                running += bucket_count
+                rows.append((bound, running))
+            return rows
+
     def percentile(self, q: float) -> Optional[float]:
         """Nearest-rank percentile ``q`` in [0, 100] over the reservoir.
 
-        ``None`` when the histogram is empty.  Exact while fewer than
-        :attr:`RESERVOIR_SIZE` values were observed; afterwards computed
-        over the most recent window of that size.
+        ``q`` outside [0, 100] raises :class:`ValueError` — always,
+        even when the histogram is empty.  An empty histogram returns
+        ``None``.  Exact while fewer than :attr:`RESERVOIR_SIZE` values
+        were observed; afterwards computed over the most recent window
+        of that size.
         """
-        if not self._reservoir:
-            return None
         if not (0.0 <= q <= 100.0):
             raise ValueError(f"percentile must be in [0, 100], got {q}")
-        ordered = sorted(self._reservoir)
+        with self._lock:
+            if not self._reservoir:
+                return None
+            ordered = sorted(self._reservoir)
         rank = min(
             len(ordered) - 1, max(0, int(round(q / 100.0 * len(ordered))) - 1)
         ) if q > 0 else 0
@@ -148,10 +256,32 @@ class Histogram:
         """99th percentile of the reservoir window (None when empty)."""
         return self.percentile(99.0)
 
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold ``other``'s summary into this one (registry merges)."""
+        if not other.count:
+            return
+        with self._lock:
+            self.count += other.count
+            self.total += other.total
+            if self.min is None or (
+                other.min is not None and other.min < self.min
+            ):
+                self.min = other.min
+            if self.max is None or (
+                other.max is not None and other.max > self.max
+            ):
+                self.max = other.max
+            if self.buckets == other.buckets:
+                for index, bucket_count in enumerate(other._bucket_counts):
+                    self._bucket_counts[index] += bucket_count
+            for value in other._reservoir:
+                if len(self._reservoir) < Histogram.RESERVOIR_SIZE:
+                    self._reservoir.append(value)
+
     def __repr__(self) -> str:
         return (
-            f"Histogram({self.name}: count={self.count} "
-            f"mean={self.mean:g})"
+            f"Histogram({flatten_name(self.name, self.labels)}: "
+            f"count={self.count} mean={self.mean:g})"
         )
 
 
@@ -165,31 +295,41 @@ class Gauge:
     transition totals are read back out.
     """
 
-    __slots__ = ("name", "value", "updates")
+    __slots__ = ("name", "labels", "value", "updates", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> None:
         self.name = name
+        self.labels = dict(labels) if labels else {}
         self.value: Optional[float] = None
         self.updates = 0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Record the current value (counted only when it changes)."""
         value = float(value)
-        if self.value != value:
-            self.updates += 1
-        self.value = value
+        with self._lock:
+            if self.value != value:
+                self.updates += 1
+            self.value = value
 
     def __repr__(self) -> str:
-        return f"Gauge({self.name}={self.value})"
+        return f"Gauge({flatten_name(self.name, self.labels)}" \
+               f"={self.value})"
 
 
 class MetricsRegistry:
     """A named collection of counters, timers, histograms and gauges.
 
     Instruments are created on first use (``registry.counter("x")``)
-    and shared by name afterwards; the convenience methods ``incr`` /
-    ``observe`` / ``record_time`` do the lookup inline so call sites
-    stay one-liners.
+    and shared by name (plus label set) afterwards; the convenience
+    methods ``incr`` / ``observe`` / ``record_time`` / ``set_gauge`` do
+    the lookup inline so call sites stay one-liners.  Creation is
+    lock-guarded and every instrument locks its own updates, so the
+    registry is safe to write from the serving frontend's event loop,
+    the runtime's refresh thread and the exporter's scrape thread at
+    once.
     """
 
     def __init__(self) -> None:
@@ -197,89 +337,143 @@ class MetricsRegistry:
         self._timers: Dict[str, Timer] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._gauges: Dict[str, Gauge] = {}
+        self._lock = threading.Lock()
 
     # -- instrument access ---------------------------------------------
-    def counter(self, name: str) -> Counter:
-        """The counter registered under ``name`` (created on first use)."""
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        """The counter for ``name`` + ``labels`` (created on first use)."""
+        key = flatten_name(name, labels)
         try:
-            return self._counters[name]
+            return self._counters[key]
         except KeyError:
-            instrument = self._counters[name] = Counter(name)
-            return instrument
+            with self._lock:
+                if key not in self._counters:
+                    self._counters[key] = Counter(name, labels)
+                return self._counters[key]
 
-    def timer(self, name: str) -> Timer:
-        """The timer registered under ``name`` (created on first use)."""
+    def timer(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Timer:
+        """The timer for ``name`` + ``labels`` (created on first use)."""
+        key = flatten_name(name, labels)
         try:
-            return self._timers[name]
+            return self._timers[key]
         except KeyError:
-            instrument = self._timers[name] = Timer(name)
-            return instrument
+            with self._lock:
+                if key not in self._timers:
+                    self._timers[key] = Timer(name, labels)
+                return self._timers[key]
 
-    def histogram(self, name: str) -> Histogram:
-        """The histogram registered under ``name`` (created on first use)."""
-        try:
-            return self._histograms[name]
-        except KeyError:
-            instrument = self._histograms[name] = Histogram(name)
-            return instrument
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        *,
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> Histogram:
+        """The histogram for ``name`` + ``labels`` (created on first use).
 
-    def gauge(self, name: str) -> Gauge:
-        """The gauge registered under ``name`` (created on first use)."""
+        ``buckets`` applies only at creation; later lookups of an
+        existing instrument ignore it.
+        """
+        key = flatten_name(name, labels)
         try:
-            return self._gauges[name]
+            return self._histograms[key]
         except KeyError:
-            instrument = self._gauges[name] = Gauge(name)
-            return instrument
+            with self._lock:
+                if key not in self._histograms:
+                    self._histograms[key] = Histogram(
+                        name, labels, buckets=buckets
+                    )
+                return self._histograms[key]
+
+    def gauge(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Gauge:
+        """The gauge for ``name`` + ``labels`` (created on first use)."""
+        key = flatten_name(name, labels)
+        try:
+            return self._gauges[key]
+        except KeyError:
+            with self._lock:
+                if key not in self._gauges:
+                    self._gauges[key] = Gauge(name, labels)
+                return self._gauges[key]
 
     # -- one-line recording --------------------------------------------
-    def incr(self, name: str, amount: float = 1.0) -> None:
-        """Increment counter ``name`` by ``amount``."""
-        self.counter(name).incr(amount)
+    def incr(
+        self,
+        name: str,
+        amount: float = 1.0,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Increment counter ``name`` by ``amount``.
 
-    def observe(self, name: str, value: float) -> None:
+        Inlined striped-counter fast path: this sits on the serving
+        warm-read path, where the budget is tens of nanoseconds.
+        """
+        try:
+            parts = self._counters[
+                name if labels is None else flatten_name(name, labels)
+            ]._parts
+        except KeyError:
+            parts = self.counter(name, labels)._parts
+        ident = get_ident()
+        parts[ident] = parts.get(ident, 0.0) + amount
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Mapping[str, str]] = None,
+        *,
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> None:
         """Fold ``value`` into histogram ``name``."""
-        self.histogram(name).observe(value)
+        self.histogram(name, labels, buckets=buckets).observe(value)
 
-    def record_time(self, name: str, seconds: float) -> None:
+    def record_time(
+        self,
+        name: str,
+        seconds: float,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         """Record a ``seconds``-long interval on timer ``name``."""
-        self.timer(name).record(seconds)
+        self.timer(name, labels).record(seconds)
 
-    def set_gauge(self, name: str, value: float) -> None:
+    def set_gauge(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         """Set gauge ``name`` to its current ``value``."""
-        self.gauge(name).set(value)
+        self.gauge(name, labels).set(value)
 
-    def time(self, name: str):
+    def time(self, name: str, labels: Optional[Mapping[str, str]] = None):
         """Context manager timing the enclosed block on timer ``name``."""
-        return self.timer(name).time()
+        return self.timer(name, labels).time()
 
     # -- aggregation / export ------------------------------------------
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry's instruments into this one, by name."""
-        for name, counter in other._counters.items():
-            self.counter(name).incr(counter.value)
-        for name, timer in other._timers.items():
-            mine = self.timer(name)
-            mine.total_s += timer.total_s
-            mine.count += timer.count
-        for name, histogram in other._histograms.items():
-            mine = self.histogram(name)
-            if histogram.count:
-                mine.count += histogram.count
-                mine.total += histogram.total
-                if mine.min is None or (
-                    histogram.min is not None and histogram.min < mine.min
-                ):
-                    mine.min = histogram.min
-                if mine.max is None or (
-                    histogram.max is not None and histogram.max > mine.max
-                ):
-                    mine.max = histogram.max
-                for value in histogram._reservoir:
-                    if len(mine._reservoir) < Histogram.RESERVOIR_SIZE:
-                        mine._reservoir.append(value)
-        for name, gauge in other._gauges.items():
+        for counter in list(other._counters.values()):
+            self.counter(counter.name, counter.labels).incr(counter.value)
+        for timer in list(other._timers.values()):
+            mine = self.timer(timer.name, timer.labels)
+            with mine._lock:
+                mine.total_s += timer.total_s
+                mine.count += timer.count
+        for histogram in list(other._histograms.values()):
+            self.histogram(
+                histogram.name, histogram.labels,
+                buckets=histogram.buckets,
+            ).merge_from(histogram)
+        for gauge in list(other._gauges.values()):
             if gauge.value is not None:
-                self.gauge(name).set(gauge.value)
+                self.gauge(gauge.name, gauge.labels).set(gauge.value)
 
     def __bool__(self) -> bool:
         return bool(
@@ -287,78 +481,157 @@ class MetricsRegistry:
             or self._gauges
         )
 
+    def snapshot(self) -> Dict:
+        """The one canonical, JSON-serializable dump of every instrument.
+
+        Every export path — the benchmark harness's
+        ``benchmarks/results/metrics.json``, the Prometheus exposition
+        (:func:`repro.observability.exposition.render_exposition`) and
+        the legacy :meth:`to_dict` projection — serializes from this
+        method, so the schemas can never drift apart.
+
+        Shape (each section sorted by flattened name)::
+
+            {"counters":   [{"name", "labels", "value"}, ...],
+             "timers":     [{"name", "labels", "total_s", "count"}, ...],
+             "histograms": [{"name", "labels", "count", "sum", "min",
+                             "max", "mean", "p50", "p99",
+                             "buckets": [[le, cumulative], ...]}, ...],
+             "gauges":     [{"name", "labels", "value", "updates"}, ...]}
+        """
+        with self._lock:
+            counters = sorted(self._counters.items())
+            timers = sorted(self._timers.items())
+            histograms = sorted(self._histograms.items())
+            gauges = sorted(self._gauges.items())
+        return {
+            "counters": [
+                {
+                    "name": counter.name,
+                    "labels": dict(counter.labels),
+                    "value": counter.value,
+                }
+                for _, counter in counters
+            ],
+            "timers": [
+                {
+                    "name": timer.name,
+                    "labels": dict(timer.labels),
+                    "total_s": timer.total_s,
+                    "count": timer.count,
+                }
+                for _, timer in timers
+            ],
+            "histograms": [
+                {
+                    "name": histogram.name,
+                    "labels": dict(histogram.labels),
+                    "count": histogram.count,
+                    "sum": histogram.total,
+                    "min": histogram.min,
+                    "max": histogram.max,
+                    "mean": histogram.mean,
+                    "p50": histogram.p50,
+                    "p99": histogram.p99,
+                    "buckets": [
+                        [bound, cumulative]
+                        for bound, cumulative
+                        in histogram.cumulative_buckets()
+                    ],
+                }
+                for _, histogram in histograms
+            ],
+            "gauges": [
+                {
+                    "name": gauge.name,
+                    "labels": dict(gauge.labels),
+                    "value": gauge.value,
+                    "updates": gauge.updates,
+                }
+                for _, gauge in gauges
+            ],
+        }
+
     def to_dict(self) -> Dict:
-        """Plain-python snapshot (stable key order, JSON-serializable)."""
+        """Legacy flat projection of :meth:`snapshot` (stable key order).
+
+        Labeled instruments appear under their flattened
+        ``name{k="v"}`` key.
+        """
+        snapshot = self.snapshot()
         return {
             "counters": {
-                name: self._counters[name].value
-                for name in sorted(self._counters)
+                flatten_name(row["name"], row["labels"]): row["value"]
+                for row in snapshot["counters"]
             },
             "timers": {
-                name: {
-                    "total_s": self._timers[name].total_s,
-                    "count": self._timers[name].count,
+                flatten_name(row["name"], row["labels"]): {
+                    "total_s": row["total_s"],
+                    "count": row["count"],
                 }
-                for name in sorted(self._timers)
+                for row in snapshot["timers"]
             },
             "histograms": {
-                name: {
-                    "count": self._histograms[name].count,
-                    "mean": self._histograms[name].mean,
-                    "min": self._histograms[name].min,
-                    "max": self._histograms[name].max,
-                    "p50": self._histograms[name].p50,
-                    "p99": self._histograms[name].p99,
+                flatten_name(row["name"], row["labels"]): {
+                    "count": row["count"],
+                    "mean": row["mean"],
+                    "min": row["min"],
+                    "max": row["max"],
+                    "p50": row["p50"],
+                    "p99": row["p99"],
                 }
-                for name in sorted(self._histograms)
+                for row in snapshot["histograms"]
             },
             "gauges": {
-                name: {
-                    "value": self._gauges[name].value,
-                    "updates": self._gauges[name].updates,
+                flatten_name(row["name"], row["labels"]): {
+                    "value": row["value"],
+                    "updates": row["updates"],
                 }
-                for name in sorted(self._gauges)
+                for row in snapshot["gauges"]
             },
         }
 
     def to_json(self, **kwargs) -> str:
-        """The :meth:`to_dict` snapshot as a JSON string."""
+        """The legacy :meth:`to_dict` projection as a JSON string.
+
+        For the full bucketed dump use
+        ``json.dumps(registry.snapshot())`` — that is what the
+        benchmark harness and the Prometheus exposition consume.
+        """
         return json.dumps(self.to_dict(), **kwargs)
 
     def summary(self) -> str:
         """Human-readable aligned dump of every instrument."""
+        data = self.to_dict()
         lines = []
-        if self._counters:
+        if data["counters"]:
             lines.append("counters:")
-            for name in sorted(self._counters):
-                lines.append(f"  {name:<40s} {self._counters[name].value:g}")
-        if self._timers:
+            for name, value in data["counters"].items():
+                lines.append(f"  {name:<40s} {value:g}")
+        if data["timers"]:
             lines.append("timers:")
-            for name in sorted(self._timers):
-                timer = self._timers[name]
+            for name, row in data["timers"].items():
                 lines.append(
-                    f"  {name:<40s} {timer.total_s:.6f}s "
-                    f"({timer.count} calls)"
+                    f"  {name:<40s} {row['total_s']:.6f}s "
+                    f"({row['count']} calls)"
                 )
-        if self._histograms:
+        if data["histograms"]:
             lines.append("histograms:")
-            for name in sorted(self._histograms):
-                histogram = self._histograms[name]
+            for name, row in data["histograms"].items():
                 lines.append(
-                    f"  {name:<40s} count={histogram.count} "
-                    f"mean={histogram.mean:g} min={histogram.min:g} "
-                    f"max={histogram.max:g}"
-                    if histogram.count
+                    f"  {name:<40s} count={row['count']} "
+                    f"mean={row['mean']:g} min={row['min']:g} "
+                    f"max={row['max']:g}"
+                    if row["count"]
                     else f"  {name:<40s} (empty)"
                 )
-        if self._gauges:
+        if data["gauges"]:
             lines.append("gauges:")
-            for name in sorted(self._gauges):
-                gauge = self._gauges[name]
+            for name, row in data["gauges"].items():
                 lines.append(
-                    f"  {name:<40s} {gauge.value:g} "
-                    f"({gauge.updates} updates)"
-                    if gauge.value is not None
+                    f"  {name:<40s} {row['value']:g} "
+                    f"({row['updates']} updates)"
+                    if row["value"] is not None
                     else f"  {name:<40s} (unset)"
                 )
         return "\n".join(lines) if lines else "(no metrics recorded)"

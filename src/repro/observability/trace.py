@@ -70,6 +70,9 @@ class NullTracer:
     def observe(self, name: str, value: float) -> None:
         """Fold a value into a metric histogram (no-op)."""
 
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time gauge (no-op)."""
+
     def stash(self, **data) -> None:
         """Attach payload fields to the next iteration event (no-op)."""
 
@@ -153,6 +156,10 @@ class SolverTrace(NullTracer):
     def observe(self, name: str, value: float) -> None:
         """Fold ``value`` into histogram ``name`` on the registry."""
         self.metrics.observe(name, value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` on the attached registry."""
+        self.metrics.set_gauge(name, value)
 
     @contextmanager
     def span(self, name: str, **data) -> Iterator[None]:

@@ -22,11 +22,14 @@ rather than dropping in-flight queries.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import time
 from typing import AsyncIterator, Hashable, Iterable, List, Optional, Union
 
 from ..clickstream.drift import GraphDelta
 from ..errors import DeadlineExceeded, ReproError, ServingError
+from ..observability import logs
+from ..observability.metrics import COUNT_BUCKETS
 from ..resilience.faults import active_faults
 from .service import AssortmentService
 
@@ -34,6 +37,8 @@ from .service import AssortmentService
 #: Sealing exactly at the deadline loses the race against event-loop
 #: scheduling overhead, expiring queries the clamp existed to save.
 _SEAL_MARGIN_S = 0.005
+
+_LOG = logs.get_logger("frontend")
 
 
 class ServingFrontend:
@@ -143,7 +148,18 @@ class ServingFrontend:
         now = time.perf_counter()
         deadline = now + timeout_s if timeout_s is not None else None
         future = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait((item, future, now, deadline))
+        # Correlation: a query submitted inside a span joins that trace
+        # (child span); otherwise, when structured logging is on, it
+        # opens a trace of its own so `repro events --trace-id` can
+        # follow it through batch seal and snapshot read.
+        context = logs.current_trace()
+        if context is not None:
+            context = context.child("frontend")
+        elif logs.logging_enabled():
+            context = logs.TraceContext(
+                trace_id=logs.new_trace_id(), component="frontend"
+            )
+        self._queue.put_nowait((item, future, now, deadline, context))
         return future
 
     async def covered_probability(
@@ -235,43 +251,89 @@ class ServingFrontend:
         """
         now = time.perf_counter()
         live = []
-        for item, future, enqueued, deadline in batch:
+        for entry in batch:
+            # Tolerate legacy 4-tuple entries (pre trace-context) built
+            # by callers that seal batches by hand.
+            item, future, enqueued, deadline = entry[:4]
+            context = entry[4] if len(entry) > 4 else None
             if future.done():  # caller went away (cancelled/timed out)
                 continue
             if deadline is not None and now > deadline:
                 self.metrics.incr("serving.deadline_exceeded")
+                if context is not None:
+                    _LOG.warning(
+                        "query_expired",
+                        item=repr(item),
+                        trace_id=context.trace_id,
+                        late_s=round(now - deadline, 6),
+                    )
                 future.set_exception(DeadlineExceeded(
                     f"query for {item!r} expired {now - deadline:.4f}s "
                     f"past its deadline before its batch was answered"
                 ))
                 continue
-            live.append((item, future, enqueued))
+            live.append((item, future, enqueued, context))
         if not live:
             return
-        items = [item for item, _, _ in live]
+        items = [item for item, _, _, _ in live]
         self.metrics.observe("serving.batch_size", len(live))
+        self.metrics.observe(
+            "serving.batch_occupancy", len(live), buckets=COUNT_BUCKETS
+        )
+        # The sealed batch is one physical action serving many logical
+        # queries: records it emits (here and inside the service read)
+        # carry the member trace ids as a fan-in group, so filtering by
+        # any one query's trace finds the shared steps too.
+        trace_ids = tuple(
+            context.trace_id for _, _, _, context in live
+            if context is not None
+        )
+        token = None
+        if trace_ids:
+            token = logs.activate(logs.TraceContext(
+                trace_id=trace_ids[0],
+                component="frontend",
+                trace_ids=trace_ids,
+            ))
+            _LOG.event("batch_seal", size=len(live))
         try:
-            answers = self.service.covered_probability_many(items)
-        except ReproError:
-            # One bad item must not poison its batch-mates: fall back to
-            # per-item answering so only the offender sees the error.
-            answers = None
-        now = time.perf_counter()
-        for position, (item, future, enqueued) in enumerate(live):
-            if future.done():
-                continue
-            if answers is not None:
-                future.set_result(float(answers[position]))
-            else:
-                try:
-                    future.set_result(
-                        self.service.covered_probability(item)
-                    )
-                except ReproError as exc:
-                    future.set_exception(exc)
-            self.metrics.observe(
-                "serving.request_latency_s", now - enqueued
-            )
+            try:
+                answers = self.service.covered_probability_many(items)
+            except ReproError:
+                # One bad item must not poison its batch-mates: fall back
+                # to per-item answering so only the offender sees the
+                # error.
+                answers = None
+            now = time.perf_counter()
+            for position, (item, future, enqueued, context) in enumerate(
+                live
+            ):
+                if future.done():
+                    continue
+                if answers is not None:
+                    future.set_result(float(answers[position]))
+                else:
+                    try:
+                        future.set_result(
+                            self.service.covered_probability(item)
+                        )
+                    except ReproError as exc:
+                        future.set_exception(exc)
+                self.metrics.observe(
+                    "serving.request_latency_s", now - enqueued
+                )
+            if trace_ids:
+                _LOG.event(
+                    "batch_answered",
+                    size=len(live),
+                    vectorized=answers is not None,
+                    latency_s=round(
+                        now - min(enq for _, _, enq, _ in live), 6
+                    ),
+                )
+        finally:
+            if token is not None:
+                logs.deactivate(token)
 
     # ------------------------------------------------------------------
     # Delta feed
@@ -297,8 +359,14 @@ class ServingFrontend:
         """Apply one delta off-loop; refresh failures degrade, not crash."""
         loop = asyncio.get_running_loop()
         try:
+            # contextvars do not cross run_in_executor on their own:
+            # copy the current context so the refresh episode's
+            # retry/breaker log records stay correlated to this feed.
             await loop.run_in_executor(
-                None, self.service.apply_delta, delta
+                None,
+                contextvars.copy_context().run,
+                self.service.apply_delta,
+                delta,
             )
             return True
         except ReproError:
@@ -335,7 +403,9 @@ class ServingFrontend:
         """
         self.start()
         loop = asyncio.get_running_loop()
-        await loop.run_in_executor(None, self.service.ensure)
+        await loop.run_in_executor(
+            None, contextvars.copy_context().run, self.service.ensure
+        )
         feed_task = None
         if delta_feed is not None:
             feed_task = loop.create_task(self.consume_deltas(delta_feed))

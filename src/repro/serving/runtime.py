@@ -65,6 +65,7 @@ from ..core.result import SolveResult
 from ..core.variants import Variant
 from ..errors import ReproError, ServingError
 from ..observability import MetricsRegistry
+from ..observability.logs import get_logger
 from ..resilience.checkpoint import atomic_write_bytes
 from ..resilience.faults import active_faults
 from .service import AssortmentService
@@ -75,6 +76,9 @@ SNAPSHOT_VERSION = 1
 
 #: Filename shape: ``snap-<context>-<sequence>.npz``.
 _SNAP_PREFIX = "snap-"
+
+_LOG = get_logger("runtime")
+_BREAKER_LOG = get_logger("breaker")
 
 
 class Tier(IntEnum):
@@ -242,7 +246,14 @@ class CircuitBreaker:
     def _transition(self, state: str) -> None:
         if state == self._state:
             return
+        previous = self._state
         self._state = state
+        _BREAKER_LOG.event(
+            "breaker_transition",
+            level="warning" if state == "open" else "info",
+            from_state=previous,
+            to_state=state,
+        )
         if self.metrics is not None:
             self.metrics.incr(f"serving.breaker.{state}")
         if state == "open":
@@ -760,8 +771,15 @@ class ServingRuntime:
         with self._tier_lock:
             if tier == self._tier:
                 return
+            previous = self._tier
             self._tier = tier
             self.tier_transitions += 1
+        _LOG.event(
+            "tier_transition",
+            level="info" if tier == Tier.FRESH else "warning",
+            from_tier=previous.label,
+            to_tier=tier.label,
+        )
         self.metrics.incr("serving.tier_transitions")
         self.metrics.incr(f"serving.tier.{tier.label}")
         self.metrics.set_gauge("serving.tier", int(tier))
@@ -779,6 +797,12 @@ class ServingRuntime:
     def _on_retry(self, attempt: int, exc: Exception, delay: float) -> None:
         self.metrics.incr("serving.retries")
         self.metrics.observe("serving.retry_delay_s", delay)
+        _LOG.warning(
+            "refresh_retry",
+            attempt=attempt,
+            delay_s=round(delay, 6),
+            error=f"{type(exc).__name__}: {exc}",
+        )
 
     def _protected(
         self, fn: Callable[[], SolutionSnapshot]
@@ -793,17 +817,35 @@ class ServingRuntime:
         """
         if not self.breaker.allow():
             self.metrics.incr("serving.breaker.short_circuited")
+            _LOG.warning("refresh_episode", outcome="short_circuited")
             return None
+        started = time.perf_counter()
         try:
             snapshot = self.retry.call(
                 lambda attempt: fn(),
                 sleep=self.sleep,
                 on_retry=self._on_retry,
             )
-        except ReproError:
+        except ReproError as exc:
             self.breaker.record_failure()
+            elapsed = time.perf_counter() - started
+            self.metrics.observe("serving.refresh_episode_s", elapsed)
+            _LOG.error(
+                "refresh_episode",
+                outcome="failed",
+                duration_s=round(elapsed, 6),
+                error=f"{type(exc).__name__}: {exc}",
+            )
             return None
         self.breaker.record_success()
+        elapsed = time.perf_counter() - started
+        self.metrics.observe("serving.refresh_episode_s", elapsed)
+        _LOG.event(
+            "refresh_episode",
+            outcome="refreshed",
+            duration_s=round(elapsed, 6),
+            sequence=snapshot.sequence,
+        )
         self._set_tier(Tier.FRESH)
         self._persist(snapshot)
         return snapshot
@@ -932,6 +974,7 @@ class ServingRuntime:
     def answers(self, items: Iterable[Hashable]) -> List[ServingAnswer]:
         """Tier-stamped answers for a batch, from one snapshot reference."""
         items = list(items)
+        started = time.perf_counter()
         snapshot, tier = self._best()
         values = snapshot.covered_probability_many(items)
         staleness: Optional[float] = None
@@ -939,7 +982,13 @@ class ServingRuntime:
             staleness = max(
                 0.0, self.service.store.now() - snapshot.created_at
             )
+            self.metrics.set_gauge("serving.staleness_s", staleness)
         self.metrics.incr("serving.queries", len(values))
+        self.metrics.observe(
+            "serving.answer_latency_s",
+            time.perf_counter() - started,
+            labels={"tier": tier.label},
+        )
         return [
             ServingAnswer(
                 item=item,
@@ -954,17 +1003,30 @@ class ServingRuntime:
 
     def covered_probability(self, item: Hashable) -> float:
         """Reader-surface point query (tier-blind, frontend-compatible)."""
-        snapshot, _ = self._best()
+        started = time.perf_counter()
+        snapshot, tier = self._best()
         self.metrics.incr("serving.queries")
-        return snapshot.covered_probability(item)
+        value = snapshot.covered_probability(item)
+        self.metrics.observe(
+            "serving.answer_latency_s",
+            time.perf_counter() - started,
+            labels={"tier": tier.label},
+        )
+        return value
 
     def covered_probability_many(
         self, items: Iterable[Hashable]
     ) -> np.ndarray:
         """Reader-surface batched query (tier-blind, frontend-compatible)."""
-        snapshot, _ = self._best()
+        started = time.perf_counter()
+        snapshot, tier = self._best()
         values = snapshot.covered_probability_many(items)
         self.metrics.incr("serving.queries", len(values))
+        self.metrics.observe(
+            "serving.answer_latency_s",
+            time.perf_counter() - started,
+            labels={"tier": tier.label},
+        )
         return values
 
     def top_alternatives(self, item: Hashable, limit: int = 5):
@@ -976,6 +1038,22 @@ class ServingRuntime:
     def active_snapshot(self) -> Optional[SolutionSnapshot]:
         """The service's active (solved) snapshot, if any."""
         return self.service.active
+
+    def readiness(self) -> Tuple[bool, Dict]:
+        """The ``/readyz`` verdict: tier at most stale, breaker not open.
+
+        Wired into :class:`~repro.observability.exporter.MetricsExporter`
+        by ``repro serve --metrics-port`` — a load balancer polling
+        ``/readyz`` drains this replica exactly when the chaos tiers
+        say its answers are no longer solve-backed.
+        """
+        tier = self.tier
+        breaker_state = self.breaker.state
+        ready = tier <= Tier.STALE and breaker_state != "open"
+        return ready, {
+            "tier": tier.label,
+            "breaker": breaker_state,
+        }
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict:

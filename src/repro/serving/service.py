@@ -33,9 +33,11 @@ from ..core.graph import PreferenceGraph
 from ..core.variants import Variant
 from ..errors import ReproError, ServingError
 from ..extensions.incremental import IncrementalSolver
-from ..observability import MetricsRegistry
+from ..observability import MetricsRegistry, logs
 from ..resilience.faults import InjectedRefreshFailure, active_faults
 from .store import SolutionSnapshot, SolutionStore
+
+_LOG = logs.get_logger("service")
 
 
 class AssortmentService:
@@ -198,7 +200,13 @@ class AssortmentService:
     def covered_probability(self, request: Hashable) -> float:
         """Probability a request for this item is matched by the assortment."""
         self.metrics.incr("serving.queries")
-        return self._snapshot().covered_probability(request)
+        snapshot = self._snapshot()
+        if logs._SINK is not None:  # zero-cost when logging is off
+            _LOG.event(
+                "read", items=1, sequence=snapshot.sequence,
+                source=snapshot.key[:12],
+            )
+        return snapshot.covered_probability(request)
 
     def covered_probability_many(self, requests: Iterable[Hashable]) -> np.ndarray:
         """Vectorized :meth:`covered_probability` for one request batch.
@@ -209,6 +217,11 @@ class AssortmentService:
         snapshot = self._snapshot()
         answers = snapshot.covered_probability_many(requests)
         self.metrics.incr("serving.queries", len(answers))
+        if logs._SINK is not None:
+            _LOG.event(
+                "read", items=len(answers), sequence=snapshot.sequence,
+                source=snapshot.key[:12],
+            )
         return answers
 
     def query(self, item_ids: Iterable[Hashable]) -> List[Dict]:
@@ -319,13 +332,21 @@ class AssortmentService:
         try:
             with self.metrics.time("serving.refresh"):
                 snapshot = self._solve_snapshot(key)
-        except ReproError:
+        except ReproError as exc:
             self.refresh_failures += 1
             self.metrics.incr("serving.refresh_failures")
+            _LOG.warning(
+                "refresh_failed",
+                sequence=self._sequence,
+                error=f"{type(exc).__name__}: {exc}",
+            )
             raise
         self.store.put(snapshot)
         self._active = snapshot  # atomic reference swap
         self.metrics.incr("serving.hot_swaps")
+        _LOG.event(
+            "hot_swap", sequence=snapshot.sequence, source=snapshot.key[:12],
+        )
         return snapshot
 
     # ------------------------------------------------------------------

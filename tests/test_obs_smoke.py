@@ -1,0 +1,136 @@
+"""End-to-end smoke test: ``repro serve --metrics-port`` under chaos.
+
+Launches the CLI in a subprocess with an ambient ``REPRO_FAULTS``
+refresh-crash spec, scrapes the sidecar's ``/metrics`` and ``/readyz``
+endpoints while the process lingers, and asserts the degradation is
+visible from outside: a non-fresh tier gauge, breaker state, and a
+503 readiness verdict.  This mirrors the CI ``obs-smoke`` job.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+pytestmark = pytest.mark.ambient_chaos
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _spawn_serve(extra_env, *cli_args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env.update(extra_env)
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--items", "50", "--requests", "150", "--seed", "4",
+            "--metrics-port", "0", "--linger-s", "8", *cli_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+        cwd=REPO,
+    )
+
+
+def _read_exporter_url(process, deadline_s=30.0):
+    """The stderr announcement line carries the ephemeral port."""
+    start = time.monotonic()
+    while time.monotonic() - start < deadline_s:
+        line = process.stderr.readline()
+        if not line:
+            break
+        match = re.search(r"metrics: (http://[^/\s]+)/metrics", line)
+        if match:
+            return match.group(1)
+    raise AssertionError("exporter URL never announced on stderr")
+
+
+def _scrape(url, deadline_s=10.0):
+    start = time.monotonic()
+    last = None
+    while time.monotonic() - start < deadline_s:
+        try:
+            with urllib.request.urlopen(url, timeout=2) as response:
+                return response.status, response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read().decode("utf-8")
+        except OSError as exc:
+            last = exc
+            time.sleep(0.2)
+    raise AssertionError(f"could not scrape {url}: {last}")
+
+
+def _poll_metrics(url, predicate, deadline_s=20.0):
+    """Scrape /metrics until ``predicate(text)`` holds (workload races
+    the first scrape, so the expected state may take a moment)."""
+    start = time.monotonic()
+    text = ""
+    while time.monotonic() - start < deadline_s:
+        status, text = _scrape(url + "/metrics")
+        if status == 200 and predicate(text):
+            return text
+        time.sleep(0.3)
+    raise AssertionError(f"metrics never reached expected state:\n{text}")
+
+
+class TestObsSmoke:
+    def test_healthy_serve_is_ready_and_exports_slo_metrics(self):
+        process = _spawn_serve({"REPRO_FAULTS": ""})
+        try:
+            url = _read_exporter_url(process)
+            text = _poll_metrics(url, lambda t: re.search(
+                r'repro_serving_answer_latency_seconds_bucket'
+                r'\{le="\+Inf",tier="fresh"\} \d+', t,
+            ))
+            assert "# TYPE repro_serving_tier gauge" in text
+            assert "repro_serving_breaker_state 0" in text
+            status, body = _scrape(url + "/readyz")
+            assert status == 200
+            assert json.loads(body)["status"] == "ready"
+            status, _ = _scrape(url + "/healthz")
+            assert status == 200
+        finally:
+            stdout, _ = _drain(process)
+        assert process.returncode == 0, stdout
+
+    def test_chaos_degradation_is_visible_from_outside(self):
+        process = _spawn_serve(
+            {"REPRO_FAULTS": "refresh_crash=1.0:seed=9"},
+            "--retries", "2",
+        )
+        try:
+            url = _read_exporter_url(process)
+            text = _poll_metrics(url, lambda t: (
+                (match := re.search(r"^repro_serving_tier (\d+)", t, re.M))
+                is not None and int(match.group(1)) >= 2  # static or shed
+            ))
+            assert re.search(
+                r"^repro_serving_static_builds_total [1-9]", text, re.M
+            )
+            assert re.search(
+                r"^repro_serving_retries_total [1-9]", text, re.M
+            )
+            status, body = _scrape(url + "/readyz")
+            assert status == 503
+            assert json.loads(body)["status"] == "unready"
+        finally:
+            stdout, _ = _drain(process)
+        # static tier -> degraded exit code
+        assert process.returncode == 3, stdout
+
+
+def _drain(process, deadline_s=60.0):
+    try:
+        return process.communicate(timeout=deadline_s)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        return process.communicate()
